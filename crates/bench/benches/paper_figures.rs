@@ -1,0 +1,56 @@
+//! One benchmark per paper table/figure: each bench regenerates the
+//! table's/figure's full data series through the platform harness (the
+//! same code the `repro` binary prints), so `cargo bench` exercises every
+//! experiment end to end. The printed rows themselves come from
+//! `cargo run -p ada-bench --bin repro -- all`.
+
+use ada_platforms::figures::{fig10, fig7, fig8, fig9, table1, table2, table6};
+use ada_platforms::{run_scenario, Platform, Scenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("table1", |b| b.iter(table1));
+    g.bench_function("table2", |b| b.iter(table2));
+    g.bench_function("table6", |b| b.iter(table6));
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("fig7_ssd_server_abc", |b| b.iter(fig7));
+    g.bench_function("fig8_cpu_breakdown", |b| b.iter(fig8));
+    g.bench_function("fig9_cluster_abc", |b| b.iter(fig9));
+    g.bench_function("fig10_fatnode_abcd", |b| b.iter(fig10));
+    g.finish();
+}
+
+fn bench_single_runs(c: &mut Criterion) {
+    // The cost of one scenario execution through simfs+plfs+ada-core.
+    let mut g = c.benchmark_group("scenario_run");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let ssd = Platform::ssd_server();
+    let fat = Platform::fatnode();
+    for (name, platform, scenario, frames) in [
+        ("ssd_c_ext4_5006", &ssd, Scenario::CTraditional, 5006u64),
+        ("ssd_ada_protein_5006", &ssd, Scenario::AdaProtein, 5006),
+        ("fat_xfs_1876800", &fat, Scenario::CTraditional, 1_876_800),
+        ("fat_ada_protein_5004800", &fat, Scenario::AdaProtein, 5_004_800),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| run_scenario(platform, scenario, frames))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures, bench_single_runs);
+criterion_main!(benches);

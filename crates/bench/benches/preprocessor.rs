@@ -1,0 +1,48 @@
+//! ADA data pre-processor benchmarks: Algorithm 1 (categorizer), the
+//! labeler's range structure, and the frame splitter.
+
+use ada_core::{categorize_algo1, split_trajectory};
+use ada_mdmodel::category::Taxonomy;
+use ada_workload::gpcr_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_categorizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("categorizer_algo1");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for natoms in [5_000usize, 20_000, 45_000] {
+        let w = gpcr_workload(natoms, 1, 3);
+        g.throughput(Throughput::Elements(w.system.len() as u64));
+        let paper = Taxonomy::paper_default();
+        g.bench_with_input(BenchmarkId::new("paper_taxonomy", natoms), &w, |b, w| {
+            b.iter(|| categorize_algo1(&w.system, &paper))
+        });
+        let fine = Taxonomy::fine_grained();
+        g.bench_with_input(BenchmarkId::new("fine_taxonomy", natoms), &w, |b, w| {
+            b.iter(|| categorize_algo1(&w.system, &fine))
+        });
+    }
+    g.finish();
+}
+
+fn bench_splitter(c: &mut Criterion) {
+    let w = gpcr_workload(20_000, 6, 5);
+    let labeler = categorize_algo1(&w.system, &Taxonomy::paper_default());
+    let mut g = c.benchmark_group("splitter");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.throughput(Throughput::Bytes(w.trajectory.nbytes() as u64));
+    g.bench_function("split_by_paper_tags", |b| {
+        b.iter(|| split_trajectory(&w.trajectory, &labeler).unwrap())
+    });
+    let fine = categorize_algo1(&w.system, &Taxonomy::fine_grained());
+    g.bench_function("split_by_fine_tags", |b| {
+        b.iter(|| split_trajectory(&w.trajectory, &fine).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_categorizer, bench_splitter);
+criterion_main!(benches);

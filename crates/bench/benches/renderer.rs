@@ -1,0 +1,110 @@
+//! Renderer benchmarks: bond inference and frame rendering, including the
+//! protein-subset vs full-system contrast that motivates ADA (less data →
+//! proportionally cheaper rendering) and the crossbeam frame fan-out.
+
+use ada_mdmodel::{infer_bonds, Category};
+use ada_vmdsim::{render_frame, render_trajectory, RenderOptions};
+use ada_workload::gpcr_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_bonds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bond_inference");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for natoms in [2_000usize, 10_000] {
+        let w = gpcr_workload(natoms, 1, 9);
+        g.throughput(Throughput::Elements(w.system.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(natoms), &w, |b, w| {
+            b.iter(|| {
+                infer_bonds(
+                    &w.system,
+                    &w.system.coords,
+                    ada_mdmodel::bonds::DEFAULT_TOLERANCE,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_render(c: &mut Criterion) {
+    let w = gpcr_workload(10_000, 6, 23);
+    let bonds = infer_bonds(
+        &w.system,
+        &w.system.coords,
+        ada_mdmodel::bonds::DEFAULT_TOLERANCE,
+    );
+    let opts = RenderOptions::default();
+    let mut g = c.benchmark_group("render");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("full_system_frame", |b| {
+        b.iter(|| render_frame(&w.system, &bonds, &w.trajectory.frames[0].coords, &opts))
+    });
+
+    // Protein-only subset (the Fig. 1b view ADA enables).
+    let prot_ranges = w.system.category_ranges(Category::Protein);
+    let prot_sys = w.system.subset(&prot_ranges);
+    let prot_bonds = infer_bonds(
+        &prot_sys,
+        &prot_sys.coords,
+        ada_mdmodel::bonds::DEFAULT_TOLERANCE,
+    );
+    let prot_coords = prot_ranges.gather(&w.trajectory.frames[0].coords);
+    g.bench_function("protein_subset_frame", |b| {
+        b.iter(|| render_frame(&prot_sys, &prot_bonds, &prot_coords, &opts))
+    });
+
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("trajectory_parallel", threads),
+            &threads,
+            |b, &t| b.iter(|| render_trajectory(&w.system, &bonds, &w.trajectory.frames, &opts, t)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    use ada_vmdsim::{radius_of_gyration, rmsd_series, rmsf};
+    let w = gpcr_workload(10_000, 20, 31);
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("rmsd_series_20_frames", |b| {
+        b.iter(|| rmsd_series(&w.trajectory.frames, 4))
+    });
+    g.bench_function("rmsf_20_frames", |b| b.iter(|| rmsf(&w.trajectory.frames)));
+    g.bench_function("radius_of_gyration", |b| {
+        b.iter(|| radius_of_gyration(&w.system, &w.trajectory.frames[0].coords))
+    });
+    g.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    use ada_mdmodel::parse_selection;
+    let w = gpcr_workload(20_000, 1, 17);
+    let mut g = c.benchmark_group("selection");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (name, text) in [
+        ("category", "protein"),
+        ("boolean", "protein or (water and not hydrogen)"),
+        ("backbone", "backbone"),
+        ("spatial_within", "water and within 0.5 of protein"),
+    ] {
+        let sel = parse_selection(text).unwrap();
+        g.bench_function(name, |b| b.iter(|| sel.evaluate(&w.system)));
+    }
+    g.bench_function("parse", |b| {
+        b.iter(|| parse_selection("protein or (water and not hydrogen)").unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bonds, bench_render, bench_analysis, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Storage-stack benchmarks: PLFS container dispatch, tag-filtered reads,
+//! striped-FS operations, and the end-to-end ADA ingest/query path in real
+//! (byte-materializing) mode.
+
+use ada_core::{Ada, AdaConfig, IngestInput};
+use ada_mdformats::write_pdb;
+use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
+use ada_mdmodel::Tag;
+use ada_plfs::ContainerSet;
+use ada_simfs::{Content, LocalFs, SimFileSystem, StripedFs};
+use ada_workload::gpcr_workload;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+
+fn two_backend_set() -> Arc<ContainerSet> {
+    let ssd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_nvme());
+    let hdd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_hdd());
+    Arc::new(ContainerSet::new(vec![
+        ("ssd".into(), ssd),
+        ("hdd".into(), hdd),
+    ]))
+}
+
+fn bench_plfs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plfs");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("append_tagged_1MB", |b| {
+        let cs = two_backend_set();
+        cs.create_logical("bar").unwrap();
+        let payload = vec![0u8; 1_000_000];
+        b.iter(|| {
+            cs.append_tagged("bar", "p", "ssd", Content::real(payload.clone()))
+                .unwrap()
+        });
+    });
+    g.bench_function("read_tagged_100_droppings", |b| {
+        let cs = two_backend_set();
+        cs.create_logical("bar").unwrap();
+        for i in 0..100 {
+            let tag = if i % 2 == 0 { "p" } else { "m" };
+            let backend = if i % 2 == 0 { "ssd" } else { "hdd" };
+            cs.append_tagged("bar", tag, backend, Content::real(vec![i as u8; 10_000]))
+                .unwrap();
+        }
+        b.iter(|| cs.read_tagged("bar", "p").unwrap());
+    });
+    g.finish();
+}
+
+fn bench_striped_fs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("striped_fs");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let fs = StripedFs::pvfs_ssd_3nodes();
+    let data: Vec<u8> = (0..4_000_000u32).map(|i| i as u8).collect();
+    fs.create("/f", Content::real(data)).unwrap();
+    g.throughput(Throughput::Bytes(4_000_000));
+    g.bench_function("read_4MB_real", |b| b.iter(|| fs.read("/f").unwrap()));
+    g.bench_function("read_range_64k", |b| {
+        b.iter(|| fs.read_range("/f", 1_000_000, 65_536).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_ada_end_to_end(c: &mut Criterion) {
+    let w = gpcr_workload(8_000, 4, 17);
+    let pdb_text = write_pdb(&w.system);
+    let xtc_bytes = write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap();
+    let mut g = c.benchmark_group("ada_end_to_end");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.throughput(Throughput::Bytes(w.trajectory.nbytes() as u64));
+    g.bench_function("ingest_real", |b| {
+        b.iter(|| {
+            let cs = two_backend_set();
+            let label_fs: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_nvme());
+            let ada = Ada::new(AdaConfig::paper_prototype("ssd", "hdd"), cs, label_fs);
+            ada.ingest(
+                "bar",
+                IngestInput::Real {
+                    pdb_text: pdb_text.clone(),
+                    xtc_bytes: xtc_bytes.clone(),
+                },
+            )
+            .unwrap()
+        })
+    });
+    // Query benches over one pre-ingested instance.
+    let cs = two_backend_set();
+    let label_fs: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_nvme());
+    let ada = Ada::new(AdaConfig::paper_prototype("ssd", "hdd"), cs, label_fs);
+    ada.ingest(
+        "bar",
+        IngestInput::Real {
+            pdb_text: pdb_text.clone(),
+            xtc_bytes: xtc_bytes.clone(),
+        },
+    )
+    .unwrap();
+    g.bench_function("query_protein", |b| {
+        b.iter(|| ada.query("bar", Some(&Tag::protein())).unwrap())
+    });
+    g.bench_function("query_all", |b| b.iter(|| ada.query("bar", None).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_plfs, bench_striped_fs, bench_ada_end_to_end);
+criterion_main!(benches);

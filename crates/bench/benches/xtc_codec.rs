@@ -1,0 +1,66 @@
+//! XTC codec benchmarks.
+//!
+//! The paper's bottleneck analysis rests on XTC decompression being
+//! expensive relative to I/O. These benches measure this repository's real
+//! `xdr3dfcoord` implementation: encode and decode throughput, the
+//! parallel-decode speedup ADA gets on storage nodes, the header-only
+//! index scan, and a precision ablation (quantization step vs output
+//! size).
+
+use ada_mdformats::xtc::{decode_frames_parallel, index_frames, write_xtc, DEFAULT_PRECISION};
+use ada_mdformats::read_xtc;
+use ada_workload::gpcr_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let w = gpcr_workload(20_000, 8, 7);
+    let raw_bytes = w.trajectory.nbytes() as u64;
+    let encoded = write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap();
+
+    let mut g = c.benchmark_group("xtc_codec");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.throughput(Throughput::Bytes(raw_bytes));
+    g.bench_function("encode", |b| {
+        b.iter(|| write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap())
+    });
+    g.bench_function("decode", |b| b.iter(|| read_xtc(&encoded).unwrap()));
+    g.bench_function("index_frames(header scan)", |b| {
+        b.iter(|| index_frames(&encoded).unwrap())
+    });
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("decode_parallel", threads),
+            &threads,
+            |b, &t| b.iter(|| decode_frames_parallel(&encoded, t).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_precision_ablation(c: &mut Criterion) {
+    let w = gpcr_workload(10_000, 4, 11);
+    let mut g = c.benchmark_group("xtc_precision_ablation");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for precision in [100.0f32, 1000.0, 10000.0] {
+        let encoded = write_xtc(&w.trajectory, precision).unwrap();
+        eprintln!(
+            "precision {:>7}: {} bytes ({:.2} bytes/atom/frame)",
+            precision,
+            encoded.len(),
+            encoded.len() as f64 / (w.trajectory.natoms() * w.trajectory.len()) as f64
+        );
+        g.bench_with_input(
+            BenchmarkId::new("encode", precision as u32),
+            &precision,
+            |b, &p| b.iter(|| write_xtc(&w.trajectory, p).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_roundtrip, bench_precision_ablation);
+criterion_main!(benches);

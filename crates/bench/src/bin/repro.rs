@@ -1,0 +1,473 @@
+//! Regenerate every table and figure of the ADA paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p ada-bench --bin repro -- all
+//! cargo run --release -p ada-bench --bin repro -- fig7b fig10d table2
+//! ```
+
+use ada_bench::render_figure;
+use ada_mdmodel::Tag;
+use ada_platforms::figures::{fig10, fig7, fig8, fig9, table1, table2, table6};
+use ada_platforms::report::{fmt_secs, format_table};
+use ada_platforms::Platform;
+use ada_vmdsim::{render_frame, RenderOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig7", "fig8",
+            "fig9", "fig10", "ablations", "playback", "amortization", "contention",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for item in wanted {
+        match item {
+            "table1" => print_table1(),
+            "table2" => print_table2(),
+            "table3" => print_table3(),
+            "table4" => print_table4(),
+            "table5" => print_table5(),
+            "table6" => print_table6(),
+            "fig1" => print_fig1(),
+            "fig7" => print_fig7(None),
+            "fig7a" => print_fig7(Some(0)),
+            "fig7b" => print_fig7(Some(1)),
+            "fig7c" => print_fig7(Some(2)),
+            "fig8" => print_fig8(),
+            "fig9" => print_fig9(None),
+            "fig9a" => print_fig9(Some(0)),
+            "fig9b" => print_fig9(Some(1)),
+            "fig9c" => print_fig9(Some(2)),
+            "fig10" => print_fig10(None),
+            "fig10a" => print_fig10(Some(0)),
+            "fig10b" => print_fig10(Some(1)),
+            "fig10c" => print_fig10(Some(2)),
+            "fig10d" => print_fig10(Some(3)),
+            "ablations" => print_ablations(),
+            "playback" => print_playback(),
+            "amortization" => print_amortization(),
+            "contention" => print_contention(),
+            other => eprintln!("unknown item '{}'", other),
+        }
+    }
+}
+
+fn print_contention() {
+    use ada_platforms::contention::cluster_contention;
+    let clients = [1usize, 3, 9];
+    let runs = cluster_contention(5006, &clients);
+    let labels = ["C-PVFS", "D-PVFS", "D-ADA (all)", "D-ADA (protein)"];
+    let rows: Vec<Vec<String>> = labels
+        .iter()
+        .map(|label| {
+            let mut row = vec![label.to_string()];
+            for &c in &clients {
+                let t = runs
+                    .iter()
+                    .find(|r| r.label == *label && r.clients == c)
+                    .unwrap()
+                    .turnaround_s;
+                row.push(format!("{:.1} s", t));
+            }
+            row
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            "Contention (cluster, 5,006 frames): per-client turnaround under concurrent readers",
+            &["scenario", "1 client", "3 clients", "9 clients"],
+            &rows
+        )
+    );
+    println!("  ADA ships less through the shared storage: its advantage grows with client count\n");
+}
+
+fn print_amortization() {
+    use ada_platforms::amortization::ingest_amortization;
+    let rows: Vec<Vec<String>> = [626u64, 1877, 5006]
+        .iter()
+        .map(|&frames| {
+            let a = ingest_amortization(frames);
+            vec![
+                frames.to_string(),
+                format!("{:.1} s", a.ingest_s),
+                format!("{:.2} s", a.ada_query_s),
+                format!("{:.1} s", a.traditional_query_s),
+                a.break_even_queries.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            "Ingest amortization (SSD server): when does ADA's one-time pre-processing pay off?",
+            &[
+                "frames",
+                "ADA ingest (once)",
+                "ADA query",
+                "traditional query",
+                "break-even queries"
+            ],
+            &rows
+        )
+    );
+    println!("  biologists 'repeatedly study the behaviors of proteins' (§2.1): the investment returns within a couple of reads\n");
+}
+
+fn print_playback() {
+    use ada_platforms::playback::playback_sweep;
+    use ada_vmdsim::AccessPattern;
+    let rows: Vec<Vec<String>> = playback_sweep(
+        500,
+        AccessPattern::BackAndForth { cycles: 3 },
+        &[0.1, 0.25, 0.5, 0.75, 1.0],
+    )
+    .into_iter()
+    .map(|r| {
+        vec![
+            format!("{:.0}%", r.budget_fraction * 100.0),
+            format!("{:.1}%", r.raw_hit_rate * 100.0),
+            format!("{:.1}%", r.ada_hit_rate * 100.0),
+            format!("{:.1} GB", r.raw_refetch_bytes as f64 / 1e9),
+            format!("{:.1} GB", r.ada_refetch_bytes as f64 / 1e9),
+        ]
+    })
+    .collect();
+    println!(
+        "{}",
+        format_table(
+            "Playback (§2.1): frame-cache hit rate, 500-frame animation scrubbed back and forth x3",
+            &[
+                "cache budget (of raw)",
+                "raw hit rate",
+                "ADA-protein hit rate",
+                "raw re-fetch",
+                "ADA re-fetch"
+            ],
+            &rows
+        )
+    );
+    println!("  smaller (protein-only) frames keep more of the animation resident: fluent replay\n");
+}
+
+fn print_ablations() {
+    use ada_platforms::ablations::*;
+
+    let rows: Vec<Vec<String>> = dispatch_policy_ablation(5006)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.policy,
+                format!("{:.2} s", r.protein_read_s),
+                format!("{:.2} s", r.all_read_s),
+                format!("{:.0} MB", r.ssd_bytes as f64 / 1e6),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            "Ablation — dispatch policy (cluster, 5,006 frames)",
+            &["policy", "protein read", "full read", "SSD-tier bytes"],
+            &rows
+        )
+    );
+
+    let rows: Vec<Vec<String>> = decompress_rate_sweep(&[14.3, 28.6, 57.2, 114.4, 500.0])
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("{:.1}", r.rate_mbps),
+                format!("{:.1} s", r.c_ext4_s),
+                format!("{:.2} s", r.ada_protein_s),
+                format!("{:.1}x", r.speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            "Ablation — decompression-rate sensitivity of the 13.4x headline",
+            &["decomp MB/s", "C-ext4", "D-ADA(protein)", "speedup"],
+            &rows
+        )
+    );
+
+    let rows: Vec<Vec<String>> = render_overhead_sweep(&[0.0, 0.016, 0.032, 0.064, 0.25])
+        .into_iter()
+        .map(|r| {
+            let fmt = |k: Option<u64>| k.map_or("survives all".to_string(), |f| f.to_string());
+            vec![
+                format!("{:.1}%", r.fraction * 100.0),
+                fmt(r.xfs_kill_frames),
+                fmt(r.ada_protein_kill_frames),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            "Ablation — render working-set fraction vs fat-node OOM boundary",
+            &["overhead", "XFS killed at", "ADA(protein) killed at"],
+            &rows
+        )
+    );
+
+    let rows: Vec<Vec<String>> = indexer_cost_ablation(&[1, 16, 256, 4096])
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.droppings.to_string(),
+                format!("{:.2} ms", r.indexer_s * 1e3),
+                format!("{:.2}%", r.penalty_pct),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            "Ablation — indexer cost vs container dropping count (5,006-frame dataset)",
+            &["droppings", "indexer time", "penalty vs full read"],
+            &rows
+        )
+    );
+}
+
+fn print_table1() {
+    let rows: Vec<Vec<String>> = table1()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.paper.frames.to_string(),
+                format!("{:.0}", r.paper.complete_mb),
+                format!("{:.0}", r.paper.protein_mb),
+                format!("{:.1}", r.paper.fraction_pct),
+                format!("{:.1}", r.model_complete_mb),
+                format!("{:.1}", r.model_protein_mb),
+                format!("{:.1}", r.model_protein_mb / r.model_complete_mb * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            "Table 1 — Data components of three .xtc files (paper | model)",
+            &[
+                "frames",
+                "paper complete (MB)",
+                "paper protein (MB)",
+                "paper %",
+                "model complete (MB)",
+                "model protein (MB)",
+                "model %"
+            ],
+            &rows
+        )
+    );
+}
+
+fn size_table(title: &str, rows: Vec<ada_platforms::figures::SizeCmp>) {
+    let body: Vec<Vec<String>> = rows
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.paper.frames.to_string(),
+                format!("{:.0}", r.paper.compressed_mb),
+                format!("{:.1}", r.model_compressed_mb),
+                format!("{:.0}", r.paper.ada_protein_mb),
+                format!("{:.1}", r.model_protein_mb),
+                format!("{:.0}", r.paper.raw_mb),
+                format!("{:.1}", r.model_raw_mb),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            title,
+            &[
+                "frames",
+                "compressed paper (MB)",
+                "compressed model (MB)",
+                "ADA protein paper (MB)",
+                "ADA protein model (MB)",
+                "raw paper (MB)",
+                "raw model (MB)"
+            ],
+            &body
+        )
+    );
+}
+
+fn print_table2() {
+    size_table(
+        "Table 2 — Data size comparisons, SSD server (ext4 vs ADA)",
+        table2(),
+    );
+}
+
+fn print_table6() {
+    size_table(
+        "Table 6 — Data size comparisons, fat node (XFS vs ADA)",
+        table6(),
+    );
+}
+
+fn print_table3() {
+    let rows = vec![
+        vec!["C".into(), "VMD loads a compressed XTC file".into()],
+        vec!["D".into(), "VMD loads a raw XTC file w/o compression".into()],
+        vec!["ADA (all)".into(), "ADA transfers the entire raw data".into()],
+        vec![
+            "ADA (protein)".into(),
+            "ADA transfers the protein data".into(),
+        ],
+    ];
+    println!(
+        "{}",
+        format_table("Table 3 — Notations of Fig. 7", &["Notes", "Description"], &rows)
+    );
+}
+
+fn print_table4() {
+    let p = Platform::cluster9();
+    let rows = vec![
+        vec!["CPU".into(), p.cpu.name.clone()],
+        vec!["File system".into(), "PVFS (OrangeFS-like, striped)".into()],
+        vec!["Node quantity".into(), "9 (3 compute, 3 HDD, 3 SSD)".into()],
+        vec![
+            "HDD".into(),
+            "WD 1TB SATA, 126 MB/s max, 6 devices".into(),
+        ],
+        vec![
+            "SSD".into(),
+            "Plextor 256GB PCI-e, 3000/1000 MB/s peak, 6 devices".into(),
+        ],
+        vec![
+            "Average power per node".into(),
+            format!("{} W", Platform::CLUSTER_NODE_AVG_POWER_W),
+        ],
+    ];
+    println!(
+        "{}",
+        format_table("Table 4 — Cluster system parameters", &["Item", "Value"], &rows)
+    );
+}
+
+fn print_table5() {
+    let p = Platform::fatnode();
+    let rows = vec![
+        vec!["CPU".into(), format!("{} ({} cores)", p.cpu.name, p.cpu.cores)],
+        vec![
+            "Main memory".into(),
+            format!("{} GB DDR4", p.memory_bytes / 1_000_000_000),
+        ],
+        vec!["File system".into(), "XFS".into()],
+        vec!["Disk array".into(), "WD HDD 1TB x10, RAID 50".into()],
+    ];
+    println!(
+        "{}",
+        format_table("Table 5 — Fat-node server parameters", &["Item", "Value"], &rows)
+    );
+}
+
+fn print_fig1() {
+    // Numeric stand-in for the paper's renders: subset sizes and drawn
+    // geometry for raw vs protein vs MISC of a synthetic GPCR system.
+    let w = ada_workload::gpcr_workload(6000, 1, 42);
+    let labeler = ada_core::categorize_algo1(
+        &w.system,
+        &ada_mdmodel::category::Taxonomy::paper_default(),
+    );
+    let frame = &w.trajectory.frames[0];
+    let opts = RenderOptions::default();
+    let mut rows = Vec::new();
+    let full = render_frame(&w.system, &[], &frame.coords, &opts);
+    rows.push(vec![
+        "original raw data (Fig. 1a)".to_string(),
+        w.system.len().to_string(),
+        full.atoms_drawn.to_string(),
+        full.pixels_filled.to_string(),
+    ]);
+    for (tag, name) in [(Tag::protein(), "protein dataset (Fig. 1b)"), (Tag::misc(), "MISC dataset (Fig. 1c)")] {
+        let ranges = &labeler[&tag];
+        let sub = w.system.subset(ranges);
+        let coords = ranges.gather(&frame.coords);
+        let stats = render_frame(&sub, &[], &coords, &opts);
+        rows.push(vec![
+            name.to_string(),
+            sub.len().to_string(),
+            stats.atoms_drawn.to_string(),
+            stats.pixels_filled.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            "Fig. 1 — Raw vs protein vs MISC (numeric render stats)",
+            &["dataset", "atoms", "atoms drawn", "pixels filled"],
+            &rows
+        )
+    );
+}
+
+fn print_fig7(which: Option<usize>) {
+    let figs = fig7();
+    for (i, f) in figs.iter().enumerate() {
+        if which.is_none() || which == Some(i) {
+            println!("{}", render_figure(f));
+        }
+    }
+    if which.is_none() || which == Some(1) {
+        let b = &figs[1];
+        let c = b.value("C-ext4", 5006).unwrap();
+        let p = b.value("D-ADA (protein)", 5006).unwrap();
+        println!(
+            "  headline: D-ADA(protein) turnaround speedup vs C-ext4 at 5,006 frames = {:.1}x (paper: up to 13.4x)\n",
+            c / p
+        );
+    }
+}
+
+fn print_fig8() {
+    for (label, phases) in fig8() {
+        let rows: Vec<Vec<String>> = phases
+            .iter()
+            .map(|(n, secs, share)| {
+                vec![n.clone(), fmt_secs(*secs), format!("{:.1}%", share * 100.0)]
+            })
+            .collect();
+        println!(
+            "{}",
+            format_table(
+                &format!("Fig. 8 — CPU burst breakdown, {} at 5,006 frames", label),
+                &["phase", "CPU time", "share"],
+                &rows
+            )
+        );
+    }
+    println!("  paper: decompression weighs more than 50% of the CPU burst time under ext4\n");
+}
+
+fn print_fig9(which: Option<usize>) {
+    for (i, f) in fig9().iter().enumerate() {
+        if which.is_none() || which == Some(i) {
+            println!("{}", render_figure(f));
+        }
+    }
+}
+
+fn print_fig10(which: Option<usize>) {
+    for (i, f) in fig10().iter().enumerate() {
+        if which.is_none() || which == Some(i) {
+            println!("{}", render_figure(f));
+        }
+    }
+    if which.is_none() || which == Some(3) {
+        println!("  paper anchors: XFS >12,500 kJ, ADA(all) <5,000 kJ, ADA(protein) ~2,200 kJ at 1,876,800 frames\n");
+    }
+}

@@ -1,0 +1,137 @@
+//! The label file.
+//!
+//! Algorithm 1 ends with "Store the labeler to a file named `label_file`
+//! for later I/O reference". The label file is the out-of-band metadata
+//! that lets the indexer resolve tag queries without touching (or
+//! modifying) the data subsets themselves.
+
+use crate::categorizer::Labeler;
+use crate::AdaError;
+use ada_mdmodel::{IndexRanges, Tag};
+use ada_simfs::{Content, SimFileSystem};
+use ada_storagesim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Serializable label metadata for one ingested dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelFile {
+    /// Logical dataset name (the `.xtc` stem).
+    pub dataset: String,
+    /// Atom count of the guiding structure.
+    pub natoms: usize,
+    /// Frame count of the ingested trajectory.
+    pub nframes: usize,
+    /// Tag → atom index ranges.
+    pub tags: BTreeMap<Tag, IndexRanges>,
+}
+
+impl LabelFile {
+    /// Build from a categorizer run.
+    pub fn new(dataset: impl Into<String>, natoms: usize, nframes: usize, labeler: Labeler) -> LabelFile {
+        LabelFile {
+            dataset: dataset.into(),
+            natoms,
+            nframes,
+            tags: labeler,
+        }
+    }
+
+    /// Ranges for one tag.
+    pub fn ranges(&self, tag: &Tag) -> Result<&IndexRanges, AdaError> {
+        self.tags
+            .get(tag)
+            .ok_or_else(|| AdaError::UnknownTag(tag.to_string()))
+    }
+
+    /// Atom count under a tag.
+    pub fn atoms_of(&self, tag: &Tag) -> usize {
+        self.tags.get(tag).map_or(0, IndexRanges::count)
+    }
+
+    /// All tags in order.
+    pub fn all_tags(&self) -> Vec<Tag> {
+        self.tags.keys().cloned().collect()
+    }
+
+    /// Canonical storage path for a dataset's label file.
+    pub fn path_for(dataset: &str) -> String {
+        format!("ada/labels/{}.label.json", dataset)
+    }
+
+    /// Persist to a file system; returns the write duration.
+    pub fn store(&self, fs: &dyn SimFileSystem) -> Result<SimDuration, AdaError> {
+        let json = serde_json::to_vec(self).expect("label file serializes");
+        let path = LabelFile::path_for(&self.dataset);
+        if fs.exists(&path) {
+            fs.delete(&path)?;
+        }
+        Ok(fs.create(&path, Content::real(json))?)
+    }
+
+    /// Load a dataset's label file.
+    pub fn load(fs: &dyn SimFileSystem, dataset: &str) -> Result<(LabelFile, SimDuration), AdaError> {
+        let (content, d) = fs.read(&LabelFile::path_for(dataset))?;
+        let bytes = content
+            .as_real()
+            .ok_or_else(|| AdaError::Pdb("label file is synthetic".into()))?;
+        let label: LabelFile = serde_json::from_slice(bytes)
+            .map_err(|e| AdaError::Pdb(format!("label parse: {}", e)))?;
+        Ok((label, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ada_simfs::LocalFs;
+
+    fn label() -> LabelFile {
+        let mut tags: Labeler = BTreeMap::new();
+        tags.insert(Tag::protein(), IndexRanges::single(0..100));
+        tags.insert(Tag::misc(), IndexRanges::from_ranges([100..220, 250..300]));
+        LabelFile::new("bar", 300, 10, tags)
+    }
+
+    #[test]
+    fn accessors() {
+        let l = label();
+        assert_eq!(l.atoms_of(&Tag::protein()), 100);
+        assert_eq!(l.atoms_of(&Tag::misc()), 170);
+        assert_eq!(l.atoms_of(&Tag::new("z")), 0);
+        assert!(l.ranges(&Tag::protein()).is_ok());
+        assert!(matches!(
+            l.ranges(&Tag::new("z")),
+            Err(AdaError::UnknownTag(_))
+        ));
+        assert_eq!(l.all_tags(), vec![Tag::misc(), Tag::protein()]);
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let fs = LocalFs::ext4_on_nvme();
+        let l = label();
+        let wd = l.store(&fs).unwrap();
+        assert!(wd.as_secs_f64() > 0.0);
+        let (back, rd) = LabelFile::load(&fs, "bar").unwrap();
+        assert_eq!(back, l);
+        assert!(rd.as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn store_overwrites() {
+        let fs = LocalFs::ext4_on_nvme();
+        let mut l = label();
+        l.store(&fs).unwrap();
+        l.nframes = 99;
+        l.store(&fs).unwrap();
+        let (back, _) = LabelFile::load(&fs, "bar").unwrap();
+        assert_eq!(back.nframes, 99);
+    }
+
+    #[test]
+    fn load_missing_dataset() {
+        let fs = LocalFs::ext4_on_nvme();
+        assert!(LabelFile::load(&fs, "nope").is_err());
+    }
+}

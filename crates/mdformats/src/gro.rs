@@ -1,0 +1,273 @@
+//! GROMACS `.gro` structure files.
+//!
+//! The GROMACS ecosystem's native structure format (fixed columns, nm
+//! units). GROMACS-produced datasets — like the paper's — often ship a
+//! `.gro` alongside or instead of a `.pdb`; ADA's categorizer only needs
+//! residue names and order, which `.gro` also carries.
+//!
+//! ```text
+//! title line
+//! natoms
+//! %5d%-5s%5s%5d%8.3f%8.3f%8.3f      (resid, resname, atom name, serial, x, y, z)
+//! box: "lx ly lz" (free format, nm)
+//! ```
+
+use ada_mdmodel::{Atom, Element, MolecularSystem, PbcBox};
+
+/// Error from the GRO parser.
+#[derive(Debug)]
+pub struct GroError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for GroError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gro line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for GroError {}
+
+fn field(line: &str, start: usize, end: usize) -> &str {
+    line.get(start.min(line.len())..end.min(line.len())).unwrap_or("")
+}
+
+/// Parse a `.gro` text.
+pub fn parse_gro(text: &str) -> Result<MolecularSystem, GroError> {
+    let mut lines = text.lines().enumerate();
+    let (_, title) = lines.next().ok_or(GroError {
+        line: 1,
+        message: "missing title line".into(),
+    })?;
+    let (n_lineno, natoms_line) = lines.next().ok_or(GroError {
+        line: 2,
+        message: "missing atom count line".into(),
+    })?;
+    let natoms: usize = natoms_line.trim().parse().map_err(|_| GroError {
+        line: n_lineno + 1,
+        message: format!("bad atom count '{}'", natoms_line.trim()),
+    })?;
+
+    let mut atoms = Vec::with_capacity(natoms);
+    let mut coords = Vec::with_capacity(natoms);
+    for _ in 0..natoms {
+        let (lineno, line) = lines.next().ok_or(GroError {
+            line: n_lineno + 2 + atoms.len(),
+            message: "file ended before all atoms were read".into(),
+        })?;
+        let resid: i32 = field(line, 0, 5).trim().parse().map_err(|_| GroError {
+            line: lineno + 1,
+            message: "bad residue number".into(),
+        })?;
+        let resname = field(line, 5, 10).trim().to_string();
+        let name = field(line, 10, 15).trim().to_string();
+        let serial: u32 = field(line, 15, 20).trim().parse().unwrap_or(0);
+        let parse_coord = |s: usize, e: usize, what: &str| -> Result<f32, GroError> {
+            field(line, s, e).trim().parse().map_err(|_| GroError {
+                line: lineno + 1,
+                message: format!("bad {} coordinate '{}'", what, field(line, s, e)),
+            })
+        };
+        let x = parse_coord(20, 28, "x")?;
+        let y = parse_coord(28, 36, "y")?;
+        let z = parse_coord(36, 44, "z")?;
+        let element = Element::from_pdb_atom_name(&name, &resname);
+        atoms.push(Atom {
+            serial,
+            name,
+            resname,
+            resid,
+            chain: ' ',
+            element,
+            hetero: false,
+        });
+        coords.push([x, y, z]); // .gro is already in nm
+    }
+
+    let pbc = match lines.next() {
+        Some((lineno, box_line)) => {
+            let vals: Vec<f32> = box_line
+                .split_whitespace()
+                .map(|w| w.parse::<f32>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| GroError {
+                    line: lineno + 1,
+                    message: "bad box line".into(),
+                })?;
+            match vals.len() {
+                0 => PbcBox::zero(),
+                3 => PbcBox::rectangular(vals[0], vals[1], vals[2]),
+                9 => PbcBox {
+                    // GROMACS order: xx yy zz xy xz yx yz zx zy.
+                    m: [
+                        [vals[0], vals[3], vals[4]],
+                        [vals[5], vals[1], vals[6]],
+                        [vals[7], vals[8], vals[2]],
+                    ],
+                },
+                n => {
+                    return Err(GroError {
+                        line: lineno + 1,
+                        message: format!("box line must have 0, 3 or 9 values, got {}", n),
+                    })
+                }
+            }
+        }
+        None => PbcBox::zero(),
+    };
+
+    Ok(MolecularSystem::from_atoms(title.trim(), atoms, coords, pbc))
+}
+
+/// Serialize a system to `.gro` text.
+pub fn write_gro(system: &MolecularSystem) -> String {
+    let mut out = String::with_capacity(system.len() * 45 + 64);
+    out.push_str(if system.title.is_empty() {
+        "written by ada-mdformats"
+    } else {
+        &system.title
+    });
+    out.push('\n');
+    out.push_str(&format!("{:5}\n", system.len()));
+    for (atom, c) in system.atoms.iter().zip(&system.coords) {
+        out.push_str(&format!(
+            "{:5}{:<5}{:>5}{:5}{:8.3}{:8.3}{:8.3}\n",
+            atom.resid.rem_euclid(100_000),
+            truncate(&atom.resname, 5),
+            truncate(&atom.name, 5),
+            atom.serial % 100_000,
+            c[0],
+            c[1],
+            c[2],
+        ));
+    }
+    let l = system.pbc.lengths();
+    out.push_str(&format!("{:10.5}{:10.5}{:10.5}\n", l[0], l[1], l[2]));
+    out
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    &s[..s.len().min(n)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ada_mdmodel::Category;
+
+    const SAMPLE: &str = "\
+GPCR slab, t= 0.0
+    5
+    1ALA      N    1   1.000   2.000   3.000
+    1ALA     CA    2   1.100   2.050   3.020
+    2SOL     OW    3   0.100   0.200   0.300
+    2SOL    HW1    4   0.190   0.200   0.300
+    3SOD     NA    5   0.500   0.500   0.500
+   8.00000   8.00000  10.00000
+";
+
+    #[test]
+    fn parse_sample() {
+        let s = parse_gro(SAMPLE).unwrap();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.title, "GPCR slab, t= 0.0");
+        assert_eq!(s.atoms[0].resname, "ALA");
+        assert_eq!(s.atoms[0].name, "N");
+        assert_eq!(s.atoms[2].resname, "SOL");
+        assert!((s.coords[0][0] - 1.0).abs() < 1e-6);
+        assert_eq!(s.pbc.lengths(), [8.0, 8.0, 10.0]);
+        assert_eq!(s.residues.len(), 3);
+        let counts = s.category_counts();
+        assert_eq!(counts[&Category::Protein], 2);
+        assert_eq!(counts[&Category::Water], 2);
+        assert_eq!(counts[&Category::Ion], 1);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = parse_gro(SAMPLE).unwrap();
+        let text = write_gro(&s);
+        let back = parse_gro(&text).unwrap();
+        assert_eq!(back.len(), s.len());
+        for (a, b) in s.atoms.iter().zip(&back.atoms) {
+            assert_eq!(a.resname, b.resname);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.resid, b.resid);
+        }
+        for (ca, cb) in s.coords.iter().zip(&back.coords) {
+            for d in 0..3 {
+                assert!((ca[d] - cb[d]).abs() < 1e-3);
+            }
+        }
+        assert_eq!(back.pbc, s.pbc);
+    }
+
+    #[test]
+    fn workload_roundtrip() {
+        let w = ada_workload_free_system();
+        let text = write_gro(&w);
+        let back = parse_gro(&text).unwrap();
+        assert_eq!(back.len(), w.len());
+        assert_eq!(back.residues.len(), w.residues.len());
+        assert!((back.protein_fraction() - w.protein_fraction()).abs() < 1e-9);
+    }
+
+    // A tiny local builder to avoid a dev-dependency cycle on
+    // ada-workload from within ada-mdformats.
+    fn ada_workload_free_system() -> MolecularSystem {
+        let mut atoms = Vec::new();
+        let mut coords = Vec::new();
+        let mut serial = 1u32;
+        for resid in 1..=30i32 {
+            let (resname, n) = if resid <= 12 { ("LEU", 8) } else { ("SOL", 3) };
+            for k in 0..n {
+                atoms.push(Atom {
+                    serial,
+                    name: if k == 0 { "N".into() } else { format!("C{}", k) },
+                    resname: resname.into(),
+                    resid,
+                    chain: ' ',
+                    element: Element::C,
+                    hetero: false,
+                });
+                coords.push([resid as f32 * 0.3, k as f32 * 0.1, 0.5]);
+                serial += 1;
+            }
+        }
+        MolecularSystem::from_atoms("t", atoms, coords, PbcBox::rectangular(10.0, 5.0, 5.0))
+    }
+
+    #[test]
+    fn truncated_file_errors() {
+        assert!(parse_gro("").is_err());
+        assert!(parse_gro("title\n").is_err());
+        assert!(parse_gro("title\n  3\n    1ALA      N    1   1.0   2.0   3.0\n").is_err());
+    }
+
+    #[test]
+    fn bad_fields_error_with_line_numbers() {
+        let bad = "t\n  1\n    xALA      N    1   1.000   2.000   3.000\n0 0 0\n";
+        let err = parse_gro(bad).unwrap_err();
+        assert_eq!(err.line, 3);
+        let bad2 = "t\n  1\n    1ALA      N    1   x.000   2.000   3.000\n0 0 0\n";
+        assert!(parse_gro(bad2).unwrap_err().message.contains("x coordinate"));
+    }
+
+    #[test]
+    fn triclinic_box_roundtrips_through_parse() {
+        let text = "t\n  1\n    1ALA      N    1   1.000   2.000   3.000\n 8.0 8.0 10.0 0.0 0.0 0.0 0.0 4.0 0.0\n";
+        let s = parse_gro(text).unwrap();
+        assert!(!s.pbc.is_rectangular());
+        assert_eq!(s.pbc.m[2][0], 4.0);
+    }
+
+    #[test]
+    fn missing_box_line_is_zero_box() {
+        let text = "t\n  1\n    1ALA      N    1   1.000   2.000   3.000\n";
+        let s = parse_gro(text).unwrap();
+        assert!(s.pbc.is_zero());
+    }
+}

@@ -1,0 +1,287 @@
+//! Protein Data Bank (`.pdb`) structure files.
+//!
+//! The fixed-column PDB records the categorizer needs: `ATOM`/`HETATM`
+//! (atom name, residue name, residue number, chain, coordinates), `CRYST1`
+//! (periodic box), `TITLE`, `TER`, `MODEL`/`ENDMDL`, `END`. Coordinates in
+//! PDB files are Ångström; this crate's in-memory unit is the nanometre
+//! (XTC convention), so the parser divides by 10 and the writer multiplies
+//! back.
+
+use ada_mdmodel::{Atom, Element, MolecularSystem, PbcBox};
+
+/// Error from the PDB parser.
+#[derive(Debug)]
+pub struct PdbError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for PdbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pdb line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PdbError {}
+
+fn field(line: &str, start: usize, end: usize) -> &str {
+    let bytes = line.as_bytes();
+    let s = start.min(bytes.len());
+    let e = end.min(bytes.len());
+    // PDB files are ASCII; byte slicing is safe for well-formed input and
+    // str::get returns None (→ empty) otherwise.
+    line.get(s..e).unwrap_or("")
+}
+
+/// Parse a PDB text into a [`MolecularSystem`]. Only the first MODEL of a
+/// multi-model file is read (VMD loads subsequent models as frames; ADA's
+/// categorizer needs only the topology).
+pub fn parse_pdb(text: &str) -> Result<MolecularSystem, PdbError> {
+    let mut title = String::new();
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut coords: Vec<[f32; 3]> = Vec::new();
+    let mut pbc = PbcBox::zero();
+    let mut in_first_model = true;
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let record = field(line, 0, 6).trim_end();
+        match record {
+            "TITLE" => {
+                let t = field(line, 10, 80).trim();
+                if !title.is_empty() {
+                    title.push(' ');
+                }
+                title.push_str(t);
+            }
+            "CRYST1" => {
+                let a: f32 = parse_f32(line, 6, 15, lineno, "CRYST1 a")?;
+                let b: f32 = parse_f32(line, 15, 24, lineno, "CRYST1 b")?;
+                let c: f32 = parse_f32(line, 24, 33, lineno, "CRYST1 c")?;
+                // Å → nm.
+                pbc = PbcBox::rectangular(a / 10.0, b / 10.0, c / 10.0);
+            }
+            "MODEL" => {}
+            "ENDMDL" => {
+                // Stop after the first model.
+                in_first_model = false;
+            }
+            "END" => break,
+            "ATOM" | "HETATM" if in_first_model => {
+                let serial: u32 = field(line, 6, 11).trim().parse().unwrap_or(0);
+                let name = field(line, 12, 16).trim().to_string();
+                if name.is_empty() {
+                    return Err(PdbError {
+                        line: lineno,
+                        message: "empty atom name".into(),
+                    });
+                }
+                let resname = field(line, 17, 21).trim().to_string();
+                let chain = field(line, 21, 22).chars().next().unwrap_or(' ');
+                let resid: i32 = field(line, 22, 26).trim().parse().unwrap_or(0);
+                let x = parse_f32(line, 30, 38, lineno, "x")?;
+                let y = parse_f32(line, 38, 46, lineno, "y")?;
+                let z = parse_f32(line, 46, 54, lineno, "z")?;
+                let element_field = field(line, 76, 78).trim();
+                let element = if element_field.is_empty() {
+                    Element::from_pdb_atom_name(&name, &resname)
+                } else {
+                    Element::from_pdb_atom_name(element_field, &resname)
+                };
+                atoms.push(Atom {
+                    serial,
+                    name,
+                    resname,
+                    resid,
+                    chain,
+                    element,
+                    hetero: record == "HETATM",
+                });
+                coords.push([x / 10.0, y / 10.0, z / 10.0]);
+            }
+            _ => {}
+        }
+    }
+    Ok(MolecularSystem::from_atoms(title, atoms, coords, pbc))
+}
+
+fn parse_f32(line: &str, s: usize, e: usize, lineno: usize, what: &str) -> Result<f32, PdbError> {
+    field(line, s, e).trim().parse().map_err(|_| PdbError {
+        line: lineno,
+        message: format!("bad {} field: '{}'", what, field(line, s, e)),
+    })
+}
+
+/// Serialize a system back to PDB text (reference coordinates, first model).
+pub fn write_pdb(system: &MolecularSystem) -> String {
+    // ~81 bytes/record.
+    let mut out = String::with_capacity(system.len() * 81 + 256);
+    if !system.title.is_empty() {
+        out.push_str(&format!("TITLE     {}\n", system.title));
+    }
+    if !system.pbc.is_zero() {
+        let l = system.pbc.lengths();
+        out.push_str(&format!(
+            "CRYST1{:9.3}{:9.3}{:9.3}{:7.2}{:7.2}{:7.2} P 1           1\n",
+            l[0] * 10.0,
+            l[1] * 10.0,
+            l[2] * 10.0,
+            90.0,
+            90.0,
+            90.0
+        ));
+    }
+    for (atom, c) in system.atoms.iter().zip(&system.coords) {
+        let record = if atom.hetero { "HETATM" } else { "ATOM  " };
+        // PDB atom-name column convention: names shorter than 4 chars start
+        // in column 14 unless they begin with a digit.
+        let name = if atom.name.len() >= 4 || atom.name.starts_with(|c: char| c.is_ascii_digit())
+        {
+            format!("{:<4}", atom.name)
+        } else {
+            format!(" {:<3}", atom.name)
+        };
+        out.push_str(&format!(
+            "{}{:5} {} {:<4}{}{:4}    {:8.3}{:8.3}{:8.3}{:6.2}{:6.2}          {:>2}\n",
+            record,
+            atom.serial % 100000,
+            name,
+            atom.resname,
+            atom.chain,
+            atom.resid % 10000,
+            c[0] * 10.0,
+            c[1] * 10.0,
+            c[2] * 10.0,
+            1.0,
+            0.0,
+            atom.element.symbol(),
+        ));
+    }
+    out.push_str("END\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ada_mdmodel::Category;
+
+    const SAMPLE: &str = "\
+TITLE     CB1 receptor test slab
+CRYST1   80.000   80.000  100.000  90.00  90.00  90.00 P 1           1
+ATOM      1  N   ALA A   1      10.000  20.000  30.000  1.00  0.00           N
+ATOM      2  CA  ALA A   1      11.400  20.100  30.200  1.00  0.00           C
+ATOM      3  C   ALA A   1      12.100  21.300  29.700  1.00  0.00           C
+ATOM      4  OW  SOL W 100       1.000   2.000   3.000  1.00  0.00           O
+HETATM    5 NA   SOD I 200       5.000   5.000   5.000  1.00  0.00          NA
+END
+";
+
+    #[test]
+    fn parse_sample() {
+        let s = parse_pdb(SAMPLE).unwrap();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.title, "CB1 receptor test slab");
+        assert_eq!(s.atoms[0].name, "N");
+        assert_eq!(s.atoms[0].resname, "ALA");
+        assert_eq!(s.atoms[0].chain, 'A');
+        assert_eq!(s.atoms[0].resid, 1);
+        assert!(!s.atoms[0].hetero);
+        assert!(s.atoms[4].hetero);
+        // Å → nm.
+        assert!((s.coords[0][0] - 1.0).abs() < 1e-6);
+        assert!((s.coords[0][2] - 3.0).abs() < 1e-6);
+        assert_eq!(s.pbc.lengths(), [8.0, 8.0, 10.0]);
+        assert_eq!(s.residues.len(), 3);
+    }
+
+    #[test]
+    fn categories_from_parsed_file() {
+        let s = parse_pdb(SAMPLE).unwrap();
+        let counts = s.category_counts();
+        assert_eq!(counts[&Category::Protein], 3);
+        assert_eq!(counts[&Category::Water], 1);
+        assert_eq!(counts[&Category::Ion], 1);
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let s = parse_pdb(SAMPLE).unwrap();
+        let text = write_pdb(&s);
+        let back = parse_pdb(&text).unwrap();
+        assert_eq!(back.len(), s.len());
+        for (a, b) in s.atoms.iter().zip(&back.atoms) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.resname, b.resname);
+            assert_eq!(a.resid, b.resid);
+            assert_eq!(a.chain, b.chain);
+            assert_eq!(a.hetero, b.hetero);
+        }
+        for (ca, cb) in s.coords.iter().zip(&back.coords) {
+            for d in 0..3 {
+                assert!((ca[d] - cb[d]).abs() < 1e-3);
+            }
+        }
+        assert_eq!(back.pbc, s.pbc);
+    }
+
+    #[test]
+    fn only_first_model_parsed() {
+        let multi = "\
+MODEL        1
+ATOM      1  CA  GLY A   1       0.000   0.000   0.000  1.00  0.00           C
+ENDMDL
+MODEL        2
+ATOM      1  CA  GLY A   1       9.000   9.000   9.000  1.00  0.00           C
+ENDMDL
+END
+";
+        let s = parse_pdb(multi).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!((s.coords[0][0] - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bad_coordinate_is_error() {
+        let bad = "ATOM      1  CA  GLY A   1      xx.000   0.000   0.000\n";
+        let err = parse_pdb(bad).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("bad x"));
+    }
+
+    #[test]
+    fn short_lines_and_unknown_records_ignored() {
+        let text = "REMARK hello\nJUNK\n\nEND\n";
+        let s = parse_pdb(text).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn records_after_end_ignored() {
+        let text = "\
+END
+ATOM      1  CA  GLY A   1       0.000   0.000   0.000  1.00  0.00           C
+";
+        let s = parse_pdb(text).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn element_fallback_from_name() {
+        // No element columns at all.
+        let text = "ATOM      1  CA  GLY A   1       0.000   0.000   0.000\n";
+        let s = parse_pdb(text).unwrap();
+        assert_eq!(s.atoms[0].element, Element::C);
+    }
+
+    #[test]
+    fn writer_name_column_convention() {
+        let s = parse_pdb(SAMPLE).unwrap();
+        let text = write_pdb(&s);
+        let ca_line = text.lines().find(|l| l.contains(" CA ")).unwrap();
+        // Short names occupy columns 14-16 (index 13..).
+        assert_eq!(&ca_line[12..16], " CA ");
+    }
+}

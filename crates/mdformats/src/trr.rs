@@ -1,0 +1,232 @@
+//! GROMACS `.trr` trajectory files (full-precision, uncompressed).
+//!
+//! TRR is GROMACS' lossless sibling of XTC: XDR-encoded frames carrying a
+//! fixed header and optional box/velocity/force blocks at single or double
+//! precision. The paper's `D` scenarios load "a raw XTC file w/o
+//! compression"; TRR is the real-world format such raw trajectories ship
+//! in, so the reproduction supports it end to end (single precision,
+//! coordinates + box, which is what VMD reads).
+//!
+//! Frame layout (all XDR):
+//!
+//! ```text
+//! i32 magic      == 1993
+//! i32 version    == 13 ("GMX_trn_file" tagged string: i32 len, bytes)
+//! i32 ir_size, e_size, box_size, vir_size, pres_size, top_size,
+//!     sym_size, x_size, v_size, f_size
+//! i32 natoms, step, nre
+//! f32 t, lambda
+//! [box 9×f32 when box_size > 0]
+//! [x natoms×3×f32 when x_size > 0]
+//! [v, f likewise]
+//! ```
+
+use crate::traj::{Frame, Trajectory};
+use crate::xdr::{XdrDecoder, XdrEncoder};
+use crate::FormatError;
+use ada_mdmodel::PbcBox;
+
+/// TRR frame magic.
+pub const TRR_MAGIC: i32 = 1993;
+/// TRR format version written by GROMACS.
+pub const TRR_VERSION: i32 = 13;
+const TRR_TAG: &str = "GMX_trn_file";
+
+/// Encode a trajectory as single-precision TRR (coordinates + box).
+pub fn write_trr(traj: &Trajectory) -> Result<Vec<u8>, FormatError> {
+    let mut enc = XdrEncoder::new();
+    let mut natoms: Option<usize> = None;
+    for frame in &traj.frames {
+        match natoms {
+            None => natoms = Some(frame.len()),
+            Some(n) if n != frame.len() => {
+                return Err(FormatError::Corrupt(format!(
+                    "frame atom count {} != file atom count {}",
+                    frame.len(),
+                    n
+                )))
+            }
+            _ => {}
+        }
+        enc.put_i32(TRR_MAGIC);
+        enc.put_i32(TRR_VERSION);
+        // Tagged version string: length (including NUL, as GROMACS does)
+        // then opaque bytes.
+        enc.put_i32(TRR_TAG.len() as i32 + 1);
+        enc.put_i32(TRR_TAG.len() as i32);
+        enc.put_opaque(TRR_TAG.as_bytes());
+        let box_size = if frame.pbc.is_zero() { 0 } else { 9 * 4 };
+        let x_size = frame.len() as i32 * 12;
+        for size in [0, 0, box_size, 0, 0, 0, 0, x_size, 0, 0] {
+            enc.put_i32(size);
+        }
+        enc.put_i32(frame.len() as i32);
+        enc.put_i32(frame.step);
+        enc.put_i32(0); // nre
+        enc.put_f32(frame.time);
+        enc.put_f32(0.0); // lambda
+        if box_size > 0 {
+            for row in &frame.pbc.m {
+                enc.put_f32_vector(row);
+            }
+        }
+        for c in &frame.coords {
+            enc.put_f32_vector(c);
+        }
+    }
+    Ok(enc.into_bytes())
+}
+
+/// Decode a TRR byte stream (single precision; velocity/force blocks are
+/// skipped).
+pub fn read_trr(data: &[u8]) -> Result<Trajectory, FormatError> {
+    let mut dec = XdrDecoder::new(data);
+    let mut frames = Vec::new();
+    while !dec.is_at_end() {
+        let magic = dec.get_i32()?;
+        if magic != TRR_MAGIC {
+            return Err(FormatError::Corrupt(format!(
+                "bad TRR magic {} (expected {})",
+                magic, TRR_MAGIC
+            )));
+        }
+        let _version = dec.get_i32()?;
+        let tag_len_nul = dec.get_i32()?;
+        let tag_len = dec.get_i32()?;
+        if tag_len < 0 || tag_len + 1 != tag_len_nul {
+            return Err(FormatError::Corrupt("bad TRR tag lengths".into()));
+        }
+        let _tag = dec.get_opaque(tag_len as usize)?;
+        let mut sizes = [0i32; 10];
+        for s in sizes.iter_mut() {
+            *s = dec.get_i32()?;
+            if *s < 0 {
+                return Err(FormatError::Corrupt("negative block size".into()));
+            }
+        }
+        let [_ir, _e, box_size, vir_size, pres_size, _top, _sym, x_size, v_size, f_size] = sizes;
+        let natoms = dec.get_i32()?;
+        if natoms < 0 {
+            return Err(FormatError::Corrupt("negative atom count".into()));
+        }
+        let step = dec.get_i32()?;
+        let _nre = dec.get_i32()?;
+        let time = dec.get_f32()?;
+        let _lambda = dec.get_f32()?;
+
+        let mut pbc = PbcBox::zero();
+        if box_size > 0 {
+            if box_size != 36 {
+                return Err(FormatError::Corrupt(
+                    "double-precision TRR boxes are not supported".into(),
+                ));
+            }
+            for r in 0..3 {
+                for c in 0..3 {
+                    pbc.m[r][c] = dec.get_f32()?;
+                }
+            }
+        }
+        for skip in [vir_size, pres_size] {
+            for _ in 0..skip / 4 {
+                dec.get_f32()?;
+            }
+        }
+        let mut coords = Vec::new();
+        if x_size > 0 {
+            if x_size != natoms * 12 {
+                return Err(FormatError::Corrupt(
+                    "double-precision TRR coordinates are not supported".into(),
+                ));
+            }
+            coords.reserve(natoms as usize);
+            for _ in 0..natoms {
+                coords.push([dec.get_f32()?, dec.get_f32()?, dec.get_f32()?]);
+            }
+        }
+        for skip in [v_size, f_size] {
+            for _ in 0..skip / 4 {
+                dec.get_f32()?;
+            }
+        }
+        frames.push(Frame {
+            step,
+            time,
+            pbc,
+            coords,
+        });
+    }
+    Ok(Trajectory::from_frames(frames))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj() -> Trajectory {
+        Trajectory::from_frames(
+            (0..3)
+                .map(|f| Frame {
+                    step: f * 50,
+                    time: f as f32 * 2.5,
+                    pbc: PbcBox::rectangular(4.0, 5.0, 6.0),
+                    coords: (0..40)
+                        .map(|a| [a as f32 * 0.1, -(f as f32), a as f32 * 0.01])
+                        .collect(),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn lossless_roundtrip() {
+        let t = traj();
+        let bytes = write_trr(&t).unwrap();
+        let back = read_trr(&bytes).unwrap();
+        assert_eq!(t, back); // full precision, bit exact
+    }
+
+    #[test]
+    fn zero_box_frames() {
+        let t = Trajectory::from_frames(vec![Frame::from_coords(vec![[1.0, 2.0, 3.0]; 5])]);
+        let bytes = write_trr(&t).unwrap();
+        let back = read_trr(&bytes).unwrap();
+        assert!(back.frames[0].pbc.is_zero());
+        assert_eq!(back.frames[0].coords, t.frames[0].coords);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = write_trr(&traj()).unwrap();
+        bytes[0] ^= 0x55;
+        assert!(read_trr(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = write_trr(&traj()).unwrap();
+        assert!(read_trr(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn mixed_atom_counts_rejected() {
+        let t = Trajectory::from_frames(vec![
+            Frame::from_coords(vec![[0.0; 3]; 3]),
+            Frame::from_coords(vec![[0.0; 3]; 4]),
+        ]);
+        assert!(write_trr(&t).is_err());
+    }
+
+    #[test]
+    fn trr_larger_than_xtc() {
+        // TRR stores full floats; XTC should compress the same data.
+        let w = crate::xtc::write_xtc(&traj(), 1000.0).unwrap();
+        let t = write_trr(&traj()).unwrap();
+        assert!(t.len() > w.len(), "trr {} vs xtc {}", t.len(), w.len());
+    }
+
+    #[test]
+    fn empty_stream() {
+        assert!(read_trr(&[]).unwrap().is_empty());
+    }
+}

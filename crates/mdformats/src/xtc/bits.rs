@@ -1,0 +1,384 @@
+//! Bit-level coding primitives of the `xdr3dfcoord` algorithm.
+//!
+//! These mirror the classic `libxdrfile` routines `sendbits`/`receivebits`
+//! (MSB-first bit packing into a byte stream) and `sendints`/`receiveints`
+//! (mixed-radix packing of small integer triples whose per-component ranges
+//! are known), plus the `sizeofint`/`sizeofints` bit-width calculators.
+
+/// Bits needed to represent values in `0..size` (i.e. smallest `n` with
+/// `2^n >= size`), capped at 32.
+pub fn size_of_int(size: u32) -> u32 {
+    let mut num: u64 = 1;
+    let mut bits = 0u32;
+    while (size as u64) >= num && bits < 32 {
+        bits += 1;
+        num <<= 1;
+    }
+    bits
+}
+
+/// Bits needed for the mixed-radix product of `sizes` (each value `v_i` in
+/// `0..sizes[i]` packed as `((v_0) * s_1 + v_1) * s_2 + v_2 ...`).
+pub fn size_of_ints(sizes: &[u32]) -> u32 {
+    let mut bytes = [0u8; 32];
+    let mut num_of_bytes = 1usize;
+    bytes[0] = 1;
+    let mut num_of_bits = 0u32;
+    for &size in sizes {
+        let mut tmp: u64 = 0;
+        let mut bytecnt = 0usize;
+        while bytecnt < num_of_bytes {
+            tmp += bytes[bytecnt] as u64 * size as u64;
+            bytes[bytecnt] = (tmp & 0xff) as u8;
+            tmp >>= 8;
+            bytecnt += 1;
+        }
+        while tmp != 0 {
+            bytes[bytecnt] = (tmp & 0xff) as u8;
+            bytecnt += 1;
+            tmp >>= 8;
+        }
+        num_of_bytes = bytecnt;
+    }
+    let mut num = 1u32;
+    let top = bytes[num_of_bytes - 1] as u32;
+    while top >= num {
+        num_of_bits += 1;
+        num *= 2;
+    }
+    num_of_bits + (num_of_bytes as u32 - 1) * 8
+}
+
+/// MSB-first bit writer with the exact state machine of `sendbits`.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    lastbits: u32,
+    lastbyte: u32,
+}
+
+impl BitWriter {
+    /// New empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Write the low `nbits` bits of `num`, MSB first. For `nbits > 32`
+    /// the bits above the u32 are zero (this happens in `send_ints` when a
+    /// wide mixed-radix field is padded; the C original performs the same
+    /// write via out-of-range shifts that happen to produce zeros).
+    pub fn send_bits(&mut self, mut nbits: u32, num: u32) {
+        while nbits > 32 {
+            let zeros = (nbits - 32).min(8);
+            self.send_bits(zeros, 0);
+            nbits -= zeros;
+        }
+        let mut lastbyte = self.lastbyte;
+        let mut lastbits = self.lastbits;
+        while nbits >= 8 {
+            lastbyte = (lastbyte << 8) | ((num >> (nbits - 8)) & 0xff);
+            self.bytes.push((lastbyte >> lastbits) as u8);
+            nbits -= 8;
+        }
+        if nbits > 0 {
+            lastbyte = (lastbyte << nbits) | (num & ((1u32 << nbits) - 1));
+            lastbits += nbits;
+            if lastbits >= 8 {
+                lastbits -= 8;
+                self.bytes.push((lastbyte >> lastbits) as u8);
+            }
+        }
+        self.lastbyte = lastbyte;
+        self.lastbits = lastbits;
+    }
+
+    /// Pack `nums[i] in 0..sizes[i]` in mixed radix using `nbits` total bits
+    /// (as computed by [`size_of_ints`]); exact port of `sendints`.
+    pub fn send_ints(&mut self, nbits: u32, sizes: &[u32; 3], nums: &[u32; 3]) {
+        let mut bytes = [0u8; 32];
+        let mut num_of_bytes = 0usize;
+        let mut tmp = nums[0];
+        loop {
+            bytes[num_of_bytes] = (tmp & 0xff) as u8;
+            num_of_bytes += 1;
+            tmp >>= 8;
+            if tmp == 0 {
+                break;
+            }
+        }
+        for i in 1..3 {
+            debug_assert!(
+                nums[i] < sizes[i],
+                "major overflow compressing coordinates: {} >= {}",
+                nums[i],
+                sizes[i]
+            );
+            // One-step multiply-accumulate in base 256.
+            let mut tmp: u64 = nums[i] as u64;
+            let mut bytecnt = 0usize;
+            while bytecnt < num_of_bytes {
+                tmp += bytes[bytecnt] as u64 * sizes[i] as u64;
+                bytes[bytecnt] = (tmp & 0xff) as u8;
+                tmp >>= 8;
+                bytecnt += 1;
+            }
+            while tmp != 0 {
+                bytes[bytecnt] = (tmp & 0xff) as u8;
+                bytecnt += 1;
+                tmp >>= 8;
+            }
+            num_of_bytes = bytecnt;
+        }
+        if nbits >= num_of_bytes as u32 * 8 {
+            for &b in bytes.iter().take(num_of_bytes) {
+                self.send_bits(8, b as u32);
+            }
+            self.send_bits(nbits - num_of_bytes as u32 * 8, 0);
+        } else {
+            for &b in bytes.iter().take(num_of_bytes - 1) {
+                self.send_bits(8, b as u32);
+            }
+            self.send_bits(
+                nbits - (num_of_bytes as u32 - 1) * 8,
+                bytes[num_of_bytes - 1] as u32,
+            );
+        }
+    }
+
+    /// Flush the partial byte (zero-padded low bits) and return the stream.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.lastbits > 0 {
+            self.bytes
+                .push((self.lastbyte << (8 - self.lastbits)) as u8);
+        }
+        self.bytes
+    }
+
+    /// Number of whole bytes of payload written so far, counting a partial
+    /// byte as one (the value the C code stores in `buf[0]` at the end).
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len() + usize::from(self.lastbits > 0)
+    }
+}
+
+/// MSB-first bit reader matching [`BitWriter`]; exact port of
+/// `receivebits`/`receiveints`.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    cnt: usize,
+    lastbits: u32,
+    lastbyte: u32,
+}
+
+/// Error produced when a reader runs off the end of its buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub struct BitsEof;
+
+impl<'a> BitReader<'a> {
+    /// Reader over a compressed payload.
+    pub fn new(data: &'a [u8]) -> BitReader<'a> {
+        BitReader {
+            data,
+            cnt: 0,
+            lastbits: 0,
+            lastbyte: 0,
+        }
+    }
+
+    fn next_byte(&mut self) -> Result<u32, BitsEof> {
+        let b = *self.data.get(self.cnt).ok_or(BitsEof)?;
+        self.cnt += 1;
+        Ok(b as u32)
+    }
+
+    /// Read `nbits` bits MSB-first. `nbits <= 32`.
+    pub fn receive_bits(&mut self, mut nbits: u32) -> Result<u32, BitsEof> {
+        debug_assert!(nbits <= 32);
+        let mask: u32 = if nbits >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << nbits) - 1
+        };
+        let mut num: u32 = 0;
+        while nbits >= 8 {
+            self.lastbyte = (self.lastbyte << 8) | self.next_byte()?;
+            num |= ((self.lastbyte >> self.lastbits) & 0xff) << (nbits - 8);
+            nbits -= 8;
+        }
+        if nbits > 0 {
+            if self.lastbits < nbits {
+                self.lastbits += 8;
+                self.lastbyte = (self.lastbyte << 8) | self.next_byte()?;
+            }
+            self.lastbits -= nbits;
+            num |= (self.lastbyte >> self.lastbits) & ((1u32 << nbits) - 1);
+        }
+        Ok(num & mask)
+    }
+
+    /// Inverse of [`BitWriter::send_ints`].
+    pub fn receive_ints(&mut self, mut nbits: u32, sizes: &[u32; 3]) -> Result<[u32; 3], BitsEof> {
+        let mut bytes = [0u32; 32];
+        let mut num_of_bytes = 0usize;
+        while nbits > 8 {
+            bytes[num_of_bytes] = self.receive_bits(8)?;
+            num_of_bytes += 1;
+            nbits -= 8;
+        }
+        if nbits > 0 {
+            bytes[num_of_bytes] = self.receive_bits(nbits)?;
+            num_of_bytes += 1;
+        }
+        let mut nums = [0u32; 3];
+        for i in (1..3).rev() {
+            let mut num: u64 = 0;
+            for j in (0..num_of_bytes).rev() {
+                num = (num << 8) | bytes[j] as u64;
+                let p = num / sizes[i] as u64;
+                bytes[j] = p as u32;
+                num -= p * sizes[i] as u64;
+            }
+            nums[i] = num as u32;
+        }
+        nums[0] = bytes[0] | (bytes[1] << 8) | (bytes[2] << 16) | (bytes[3] << 24);
+        Ok(nums)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn size_of_int_basics() {
+        assert_eq!(size_of_int(0), 0);
+        assert_eq!(size_of_int(1), 1);
+        assert_eq!(size_of_int(2), 2);
+        assert_eq!(size_of_int(3), 2);
+        assert_eq!(size_of_int(4), 3);
+        assert_eq!(size_of_int(255), 8);
+        assert_eq!(size_of_int(256), 9);
+        assert_eq!(size_of_int(u32::MAX), 32);
+    }
+
+    #[test]
+    fn size_of_ints_matches_product_width() {
+        // 3 components each in 0..10 → product 1000 → needs 10 bits.
+        assert_eq!(size_of_ints(&[10, 10, 10]), 10);
+        // 0..256 each → 2^24 → 25 bits (sizeofints counts 2^24 inclusive).
+        assert_eq!(size_of_ints(&[256, 256, 256]), 25);
+        assert_eq!(size_of_ints(&[1, 1, 1]), 1);
+    }
+
+    #[test]
+    fn bits_roundtrip_simple() {
+        let mut w = BitWriter::new();
+        w.send_bits(5, 0b10110);
+        w.send_bits(1, 1);
+        w.send_bits(13, 4321);
+        w.send_bits(32, 0xCAFEBABE);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.receive_bits(5).unwrap(), 0b10110);
+        assert_eq!(r.receive_bits(1).unwrap(), 1);
+        assert_eq!(r.receive_bits(13).unwrap(), 4321);
+        assert_eq!(r.receive_bits(32).unwrap(), 0xCAFEBABE);
+    }
+
+    #[test]
+    fn zero_bit_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.send_bits(0, 0);
+        w.send_bits(3, 0b101);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.receive_bits(0).unwrap(), 0);
+        assert_eq!(r.receive_bits(3).unwrap(), 0b101);
+    }
+
+    #[test]
+    fn reader_eof() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.receive_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.receive_bits(1), Err(BitsEof));
+    }
+
+    #[test]
+    fn ints_roundtrip_simple() {
+        let sizes = [100u32, 200, 50];
+        let nbits = size_of_ints(&sizes);
+        let mut w = BitWriter::new();
+        w.send_ints(nbits, &sizes, &[99, 0, 49]);
+        w.send_ints(nbits, &sizes, &[0, 199, 25]);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.receive_ints(nbits, &sizes).unwrap(), [99, 0, 49]);
+        assert_eq!(r.receive_ints(nbits, &sizes).unwrap(), [0, 199, 25]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bits_roundtrip(values in prop::collection::vec((1u32..=32, any::<u32>()), 1..40)) {
+            let mut w = BitWriter::new();
+            let masked: Vec<(u32, u32)> = values
+                .iter()
+                .map(|&(n, v)| (n, if n == 32 { v } else { v & ((1 << n) - 1) }))
+                .collect();
+            for &(n, v) in &masked {
+                w.send_bits(n, v);
+            }
+            let buf = w.finish();
+            let mut r = BitReader::new(&buf);
+            for &(n, v) in &masked {
+                prop_assert_eq!(r.receive_bits(n).unwrap(), v);
+            }
+        }
+
+        #[test]
+        fn prop_ints_roundtrip(
+            s0 in 1u32..5000, s1 in 1u32..5000, s2 in 1u32..5000,
+            picks in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 1..30),
+        ) {
+            let sizes = [s0, s1, s2];
+            let nbits = size_of_ints(&sizes);
+            let triples: Vec<[u32; 3]> = picks
+                .iter()
+                .map(|&(a, b, c)| [a % s0, b % s1, c % s2])
+                .collect();
+            let mut w = BitWriter::new();
+            for t in &triples {
+                w.send_ints(nbits, &sizes, t);
+            }
+            let buf = w.finish();
+            let mut r = BitReader::new(&buf);
+            for t in &triples {
+                prop_assert_eq!(&r.receive_ints(nbits, &sizes).unwrap(), t);
+            }
+        }
+
+        #[test]
+        fn prop_ints_large_sizes(
+            picks in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 1..10),
+        ) {
+            // Near the 0xffffff limit used by the coder before it switches
+            // to per-component encoding.
+            let sizes = [0xffffffu32, 0xfffffe, 0xabcdef];
+            let nbits = size_of_ints(&sizes);
+            let triples: Vec<[u32; 3]> = picks
+                .iter()
+                .map(|&(a, b, c)| [a % sizes[0], b % sizes[1], c % sizes[2]])
+                .collect();
+            let mut w = BitWriter::new();
+            for t in &triples {
+                w.send_ints(nbits, &sizes, t);
+            }
+            let buf = w.finish();
+            let mut r = BitReader::new(&buf);
+            for t in &triples {
+                prop_assert_eq!(&r.receive_ints(nbits, &sizes).unwrap(), t);
+            }
+        }
+    }
+}

@@ -1,0 +1,508 @@
+//! GROMACS `.xtc` trajectory files.
+//!
+//! Frame layout (all XDR big-endian):
+//!
+//! ```text
+//! i32  magic          == 1995
+//! i32  natoms
+//! i32  step
+//! f32  time (ps)
+//! f32  box[3][3]      row-major
+//! ...  xdr3dfcoord    (natoms again, then compressed coordinates)
+//! ```
+//!
+//! Besides the sequential [`XtcReader`]/[`XtcWriter`], this module provides
+//! a header-only [`index_frames`] scan (used by random access and by ADA's
+//! dispatcher to size subsets without decompressing) and a
+//! [`decode_frames_parallel`] helper that fans frame decompression out over
+//! crossbeam scoped threads — decompression dominates turnaround time in
+//! the paper (Fig. 8), so the substrate makes it parallelizable.
+
+mod bits;
+mod coder;
+
+pub use bits::{size_of_int, size_of_ints, BitReader, BitWriter};
+pub use coder::{decode_3dfcoord, encode_3dfcoord, XtcError, MAGICINTS, PLAIN_FLOAT_THRESHOLD};
+
+use crate::traj::{Frame, Trajectory};
+use crate::xdr::{XdrDecoder, XdrEncoder};
+use crate::FormatError;
+use ada_mdmodel::PbcBox;
+
+/// The XTC frame magic number.
+pub const XTC_MAGIC: i32 = 1995;
+
+/// Default coordinate precision (lattice points per nm) used by GROMACS.
+pub const DEFAULT_PRECISION: f32 = 1000.0;
+
+/// Byte span of one frame within an XTC byte stream, plus its header fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameSpan {
+    /// Byte offset of the frame start.
+    pub offset: usize,
+    /// Byte length of the whole frame record.
+    pub len: usize,
+    /// Atom count from the header.
+    pub natoms: usize,
+    /// Step number.
+    pub step: i32,
+    /// Time in ps.
+    pub time: f32,
+}
+
+/// Appends XTC frames to a byte buffer.
+#[derive(Debug)]
+pub struct XtcWriter {
+    enc: XdrEncoder,
+    precision: f32,
+    natoms: Option<usize>,
+}
+
+impl XtcWriter {
+    /// Writer with the given coordinate precision.
+    pub fn new(precision: f32) -> XtcWriter {
+        XtcWriter {
+            enc: XdrEncoder::new(),
+            precision,
+            natoms: None,
+        }
+    }
+
+    /// Append one frame. All frames of a file must share one atom count.
+    pub fn write_frame(&mut self, frame: &Frame) -> Result<(), XtcError> {
+        if let Some(n) = self.natoms {
+            if n != frame.len() {
+                return Err(XtcError::BadAtomCount(frame.len() as i32));
+            }
+        } else {
+            self.natoms = Some(frame.len());
+        }
+        self.enc.put_i32(XTC_MAGIC);
+        self.enc.put_i32(frame.len() as i32);
+        self.enc.put_i32(frame.step);
+        self.enc.put_f32(frame.time);
+        for row in &frame.pbc.m {
+            self.enc.put_f32_vector(row);
+        }
+        encode_3dfcoord(&mut self.enc, &frame.coords, self.precision)
+    }
+
+    /// Finish, returning the encoded file bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.enc.into_bytes()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.enc.len()
+    }
+
+    /// True when nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.enc.is_empty()
+    }
+}
+
+/// Sequential frame reader over an XTC byte stream.
+#[derive(Debug)]
+pub struct XtcReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> XtcReader<'a> {
+    /// Reader at the start of `data`.
+    pub fn new(data: &'a [u8]) -> XtcReader<'a> {
+        XtcReader { data, pos: 0 }
+    }
+
+    /// Whether all frames were consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+
+    /// Read the next frame, or `Ok(None)` at a clean end of stream.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, XtcError> {
+        if self.is_at_end() {
+            return Ok(None);
+        }
+        let mut dec = XdrDecoder::new(&self.data[self.pos..]);
+        let frame = read_frame(&mut dec)?;
+        self.pos += dec.position();
+        Ok(Some(frame))
+    }
+}
+
+fn read_frame(dec: &mut XdrDecoder) -> Result<Frame, XtcError> {
+    let magic = dec.get_i32()?;
+    if magic != XTC_MAGIC {
+        return Err(XtcError::BadMagic(magic));
+    }
+    let natoms = dec.get_i32()?;
+    if natoms < 0 {
+        return Err(XtcError::BadAtomCount(natoms));
+    }
+    let step = dec.get_i32()?;
+    let time = dec.get_f32()?;
+    let mut pbc = PbcBox::zero();
+    for r in 0..3 {
+        for c in 0..3 {
+            pbc.m[r][c] = dec.get_f32()?;
+        }
+    }
+    let (coords, _prec) = decode_3dfcoord(dec)?;
+    if coords.len() != natoms as usize {
+        return Err(XtcError::Format(FormatError::Corrupt(format!(
+            "header natoms {} != coordinate count {}",
+            natoms,
+            coords.len()
+        ))));
+    }
+    Ok(Frame {
+        step,
+        time,
+        pbc,
+        coords,
+    })
+}
+
+/// Encode a whole trajectory at `precision`.
+///
+/// ```
+/// use ada_mdformats::{read_xtc, write_xtc, Frame, Trajectory};
+///
+/// let coords: Vec<[f32; 3]> = (0..100).map(|i| [i as f32 * 0.1, 0.0, 0.0]).collect();
+/// let traj = Trajectory::from_frames(vec![Frame::from_coords(coords)]);
+/// let bytes = write_xtc(&traj, 1000.0).unwrap();
+/// assert!(bytes.len() < traj.nbytes()); // compressed
+///
+/// let back = read_xtc(&bytes).unwrap();
+/// // Lossy to the 0.001 nm quantization lattice, no further.
+/// for (a, b) in traj.frames[0].coords.iter().zip(&back.frames[0].coords) {
+///     assert!((a[0] - b[0]).abs() <= 0.0005 + 1e-6);
+/// }
+/// ```
+pub fn write_xtc(traj: &Trajectory, precision: f32) -> Result<Vec<u8>, XtcError> {
+    let mut w = XtcWriter::new(precision);
+    for f in &traj.frames {
+        w.write_frame(f)?;
+    }
+    Ok(w.into_bytes())
+}
+
+/// Decode a whole XTC byte stream.
+pub fn read_xtc(data: &[u8]) -> Result<Trajectory, XtcError> {
+    let mut r = XtcReader::new(data);
+    let mut frames = Vec::new();
+    while let Some(f) = r.next_frame()? {
+        frames.push(f);
+    }
+    Ok(Trajectory::from_frames(frames))
+}
+
+/// Scan frame boundaries without decompressing coordinate payloads.
+///
+/// This walks headers only: for compressed frames it reads the payload byte
+/// count and skips it, which is how a middleware can locate and size frames
+/// cheaply before deciding what to decompress.
+pub fn index_frames(data: &[u8]) -> Result<Vec<FrameSpan>, XtcError> {
+    let mut spans = Vec::new();
+    let mut dec = XdrDecoder::new(data);
+    while !dec.is_at_end() {
+        let offset = dec.position();
+        let magic = dec.get_i32()?;
+        if magic != XTC_MAGIC {
+            return Err(XtcError::BadMagic(magic));
+        }
+        let natoms = dec.get_i32()?;
+        if natoms < 0 {
+            return Err(XtcError::BadAtomCount(natoms));
+        }
+        let step = dec.get_i32()?;
+        let time = dec.get_f32()?;
+        for _ in 0..9 {
+            dec.get_f32()?;
+        }
+        // xdr3dfcoord body.
+        let size = dec.get_i32()?;
+        if size != natoms {
+            return Err(XtcError::Format(FormatError::Corrupt(format!(
+                "frame at {}: natoms {} != coord size {}",
+                offset, natoms, size
+            ))));
+        }
+        if size as usize <= PLAIN_FLOAT_THRESHOLD {
+            for _ in 0..size * 3 {
+                dec.get_f32()?;
+            }
+        } else {
+            dec.get_f32()?; // precision
+            for _ in 0..7 {
+                dec.get_i32()?; // minint[3], maxint[3], smallidx
+            }
+            let nbytes = dec.get_i32()?;
+            if nbytes < 0 {
+                return Err(XtcError::Format(FormatError::Corrupt(
+                    "negative payload length".into(),
+                )));
+            }
+            dec.get_opaque(nbytes as usize)?;
+        }
+        spans.push(FrameSpan {
+            offset,
+            len: dec.position() - offset,
+            natoms: natoms as usize,
+            step,
+            time,
+        });
+    }
+    Ok(spans)
+}
+
+/// Random-access XTC reader: one cheap header scan up front, then any
+/// frame decodes independently — the access pattern of a VMD user
+/// scrubbing the timeline (§2.1) without holding the whole trajectory.
+#[derive(Debug)]
+pub struct XtcIndexedReader<'a> {
+    data: &'a [u8],
+    spans: Vec<FrameSpan>,
+}
+
+impl<'a> XtcIndexedReader<'a> {
+    /// Build the frame index (headers only; no coordinate decoding).
+    pub fn new(data: &'a [u8]) -> Result<XtcIndexedReader<'a>, XtcError> {
+        Ok(XtcIndexedReader {
+            data,
+            spans: index_frames(data)?,
+        })
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when the file holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Frame metadata without decoding.
+    pub fn span(&self, i: usize) -> Option<&FrameSpan> {
+        self.spans.get(i)
+    }
+
+    /// Decode exactly frame `i`.
+    pub fn frame(&self, i: usize) -> Result<Frame, XtcError> {
+        let span = self.spans.get(i).ok_or_else(|| {
+            XtcError::Format(FormatError::Corrupt(format!(
+                "frame {} out of range ({} frames)",
+                i,
+                self.spans.len()
+            )))
+        })?;
+        let mut dec = XdrDecoder::new(&self.data[span.offset..span.offset + span.len]);
+        read_frame(&mut dec)
+    }
+}
+
+/// Decode all frames of an XTC stream in parallel over `nthreads` crossbeam
+/// scoped threads. Equivalent to [`read_xtc`] but with the per-frame
+/// decompression fanned out after a cheap sequential [`index_frames`] scan.
+pub fn decode_frames_parallel(data: &[u8], nthreads: usize) -> Result<Trajectory, XtcError> {
+    let spans = index_frames(data)?;
+    if spans.is_empty() {
+        return Ok(Trajectory::new());
+    }
+    let nthreads = nthreads.max(1).min(spans.len());
+    let mut slots: Vec<Option<Result<Frame, XtcError>>> = Vec::new();
+    slots.resize_with(spans.len(), || None);
+    let chunk = spans.len().div_ceil(nthreads);
+
+    crossbeam::thread::scope(|scope| {
+        for (spans_chunk, slots_chunk) in spans.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (span, slot) in spans_chunk.iter().zip(slots_chunk.iter_mut()) {
+                    let bytes = &data[span.offset..span.offset + span.len];
+                    let mut dec = XdrDecoder::new(bytes);
+                    *slot = Some(read_frame(&mut dec));
+                }
+            });
+        }
+    })
+    .expect("decode worker panicked");
+
+    let mut frames = Vec::with_capacity(spans.len());
+    for slot in slots {
+        frames.push(slot.expect("slot not filled")?);
+    }
+    Ok(Trajectory::from_frames(frames))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_traj(nframes: usize, natoms: usize) -> Trajectory {
+        let frames = (0..nframes)
+            .map(|f| {
+                let coords = (0..natoms)
+                    .map(|a| {
+                        [
+                            (a % 17) as f32 * 0.3 + f as f32 * 0.001,
+                            ((a / 17) % 13) as f32 * 0.3,
+                            (a / 221) as f32 * 0.3 + (f as f32 * 0.27).sin() * 0.05,
+                        ]
+                    })
+                    .collect();
+                Frame {
+                    step: (f * 100) as i32,
+                    time: f as f32 * 2.0,
+                    pbc: PbcBox::rectangular(8.0, 8.0, 8.0),
+                    coords,
+                }
+            })
+            .collect();
+        Trajectory::from_frames(frames)
+    }
+
+    fn assert_traj_close(a: &Trajectory, b: &Trajectory, tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (fa, fb) in a.frames.iter().zip(&b.frames) {
+            assert_eq!(fa.step, fb.step);
+            assert_eq!(fa.time, fb.time);
+            assert_eq!(fa.pbc, fb.pbc);
+            assert_eq!(fa.coords.len(), fb.coords.len());
+            for (ca, cb) in fa.coords.iter().zip(&fb.coords) {
+                for d in 0..3 {
+                    assert!((ca[d] - cb[d]).abs() <= tol);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_frame_roundtrip() {
+        let traj = test_traj(5, 300);
+        let bytes = write_xtc(&traj, DEFAULT_PRECISION).unwrap();
+        let back = read_xtc(&bytes).unwrap();
+        assert_traj_close(&traj, &back, 0.5 / DEFAULT_PRECISION + 1e-6);
+    }
+
+    #[test]
+    fn header_fields_preserved() {
+        let traj = test_traj(3, 50);
+        let bytes = write_xtc(&traj, DEFAULT_PRECISION).unwrap();
+        let back = read_xtc(&bytes).unwrap();
+        assert_eq!(back.frames[2].step, 200);
+        assert_eq!(back.frames[2].time, 4.0);
+        assert_eq!(back.frames[0].pbc, PbcBox::rectangular(8.0, 8.0, 8.0));
+    }
+
+    #[test]
+    fn index_matches_frames() {
+        let traj = test_traj(7, 120);
+        let bytes = write_xtc(&traj, DEFAULT_PRECISION).unwrap();
+        let spans = index_frames(&bytes).unwrap();
+        assert_eq!(spans.len(), 7);
+        assert_eq!(spans[0].offset, 0);
+        for w in spans.windows(2) {
+            assert_eq!(w[0].offset + w[0].len, w[1].offset);
+        }
+        assert_eq!(
+            spans.last().unwrap().offset + spans.last().unwrap().len,
+            bytes.len()
+        );
+        for (i, s) in spans.iter().enumerate() {
+            assert_eq!(s.natoms, 120);
+            assert_eq!(s.step, (i * 100) as i32);
+        }
+    }
+
+    #[test]
+    fn parallel_decode_matches_sequential() {
+        let traj = test_traj(16, 200);
+        let bytes = write_xtc(&traj, DEFAULT_PRECISION).unwrap();
+        let seq = read_xtc(&bytes).unwrap();
+        for threads in [1, 2, 4, 7] {
+            let par = decode_frames_parallel(&bytes, threads).unwrap();
+            assert_eq!(seq, par);
+        }
+    }
+
+    #[test]
+    fn indexed_reader_random_access() {
+        let traj = test_traj(9, 150);
+        let bytes = write_xtc(&traj, DEFAULT_PRECISION).unwrap();
+        let reader = XtcIndexedReader::new(&bytes).unwrap();
+        assert_eq!(reader.len(), 9);
+        let seq = read_xtc(&bytes).unwrap();
+        // Access out of order; each frame equals the sequential decode.
+        for i in [7usize, 0, 4, 8, 4, 2] {
+            assert_eq!(reader.frame(i).unwrap(), seq.frames[i]);
+        }
+        assert!(reader.frame(9).is_err());
+        assert_eq!(reader.span(3).unwrap().step, 300);
+    }
+
+    #[test]
+    fn atom_count_mismatch_across_frames_rejected() {
+        let mut w = XtcWriter::new(DEFAULT_PRECISION);
+        w.write_frame(&Frame::from_coords(vec![[0.0; 3]; 20])).unwrap();
+        let err = w.write_frame(&Frame::from_coords(vec![[0.0; 3]; 21]));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let traj = test_traj(1, 30);
+        let mut bytes = write_xtc(&traj, DEFAULT_PRECISION).unwrap();
+        bytes[3] = 0x07; // clobber magic
+        assert!(matches!(
+            read_xtc(&bytes),
+            Err(XtcError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_file_detected() {
+        let traj = test_traj(2, 40);
+        let bytes = write_xtc(&traj, DEFAULT_PRECISION).unwrap();
+        let cut = &bytes[..bytes.len() - 5];
+        assert!(read_xtc(cut).is_err());
+        assert!(index_frames(cut).is_err());
+    }
+
+    #[test]
+    fn empty_stream_is_empty_trajectory() {
+        assert!(read_xtc(&[]).unwrap().is_empty());
+        assert!(index_frames(&[]).unwrap().is_empty());
+        assert_eq!(decode_frames_parallel(&[], 4).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn small_frames_plain_float_path_in_file() {
+        let traj = Trajectory::from_frames(vec![Frame::from_coords(vec![
+            [1.0, 2.0, 3.0],
+            [-1.0, -2.0, -3.0],
+        ])]);
+        let bytes = write_xtc(&traj, DEFAULT_PRECISION).unwrap();
+        let back = read_xtc(&bytes).unwrap();
+        assert_eq!(back.frames[0].coords, traj.frames[0].coords); // lossless
+        let spans = index_frames(&bytes).unwrap();
+        assert_eq!(spans[0].len, bytes.len());
+    }
+
+    #[test]
+    fn compression_ratio_on_lattice_data() {
+        let traj = test_traj(4, 5000);
+        let bytes = write_xtc(&traj, DEFAULT_PRECISION).unwrap();
+        let raw = 4 * 5000 * 12;
+        assert!(
+            bytes.len() * 2 < raw,
+            "compressed {} vs raw {}",
+            bytes.len(),
+            raw
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! XTCF — the uncompressed "XTC-Flat" frame format.
+//!
+//! ADA stores *decompressed* data subsets on its backends so that reads skip
+//! the decompression step entirely (that is the whole point of the paper:
+//! "only decompressed active data will be transferred to compute nodes").
+//! The paper does not specify the byte layout of those stored subsets, so we
+//! define a minimal exact little-endian format:
+//!
+//! ```text
+//! magic   u32      == 0x41444146 ("ADAF")
+//! version u32      == 1
+//! per frame:
+//!   step  i32
+//!   time  f32
+//!   box   9 × f32
+//!   n     u32      atom count
+//!   xyz   n × 3 × f32
+//! ```
+//!
+//! Unlike XTC this format is bit-exact (no quantization) and trivially
+//! seekable: every frame of a file has the same length.
+
+use crate::traj::{Frame, Trajectory};
+use crate::FormatError;
+use ada_mdmodel::PbcBox;
+
+/// XTCF magic bytes ("ADAF" as a little-endian u32).
+pub const XTCF_MAGIC: u32 = 0x4144_4146;
+/// Current format version.
+pub const XTCF_VERSION: u32 = 1;
+/// File header length in bytes.
+pub const XTCF_HEADER_LEN: usize = 8;
+
+/// Per-frame record length for `natoms`.
+pub fn frame_record_len(natoms: usize) -> usize {
+    4 + 4 + 36 + 4 + natoms * 12
+}
+
+/// Total encoded size for a trajectory of `nframes` × `natoms`.
+pub fn encoded_len(nframes: usize, natoms: usize) -> usize {
+    XTCF_HEADER_LEN + nframes * frame_record_len(natoms)
+}
+
+/// Streaming XTCF writer.
+#[derive(Debug)]
+pub struct XtcfWriter {
+    buf: Vec<u8>,
+    natoms: Option<usize>,
+}
+
+impl Default for XtcfWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl XtcfWriter {
+    /// New writer with the file header emitted.
+    pub fn new() -> XtcfWriter {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&XTCF_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&XTCF_VERSION.to_le_bytes());
+        XtcfWriter { buf, natoms: None }
+    }
+
+    /// Append one frame. Atom counts must be uniform.
+    pub fn write_frame(&mut self, frame: &Frame) -> Result<(), FormatError> {
+        if let Some(n) = self.natoms {
+            if n != frame.len() {
+                return Err(FormatError::Corrupt(format!(
+                    "frame atom count {} != file atom count {}",
+                    frame.len(),
+                    n
+                )));
+            }
+        } else {
+            self.natoms = Some(frame.len());
+        }
+        self.buf.reserve(frame_record_len(frame.len()));
+        self.buf.extend_from_slice(&frame.step.to_le_bytes());
+        self.buf.extend_from_slice(&frame.time.to_le_bytes());
+        for row in &frame.pbc.m {
+            for &v in row {
+                self.buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        self.buf
+            .extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        for c in &frame.coords {
+            for &v in c {
+                self.buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Ok(())
+    }
+
+    /// Finish, returning the file bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True right after construction (header only).
+    pub fn is_empty(&self) -> bool {
+        self.buf.len() == XTCF_HEADER_LEN
+    }
+}
+
+/// Streaming XTCF reader.
+#[derive(Debug)]
+pub struct XtcfReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> XtcfReader<'a> {
+    /// Validate the header and position at the first frame.
+    pub fn new(data: &'a [u8]) -> Result<XtcfReader<'a>, FormatError> {
+        if data.len() < XTCF_HEADER_LEN {
+            return Err(FormatError::UnexpectedEof);
+        }
+        let magic = u32::from_le_bytes(data[0..4].try_into().unwrap());
+        if magic != XTCF_MAGIC {
+            return Err(FormatError::Corrupt(format!("bad magic {:#x}", magic)));
+        }
+        let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
+        if version != XTCF_VERSION {
+            return Err(FormatError::Corrupt(format!("bad version {}", version)));
+        }
+        Ok(XtcfReader {
+            data,
+            pos: XTCF_HEADER_LEN,
+        })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FormatError> {
+        if self.data.len() - self.pos < n {
+            return Err(FormatError::UnexpectedEof);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read the next frame, `Ok(None)` at a clean end.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FormatError> {
+        if self.pos == self.data.len() {
+            return Ok(None);
+        }
+        let step = i32::from_le_bytes(self.take(4)?.try_into().unwrap());
+        let time = f32::from_le_bytes(self.take(4)?.try_into().unwrap());
+        let mut pbc = PbcBox::zero();
+        for r in 0..3 {
+            for c in 0..3 {
+                pbc.m[r][c] = f32::from_le_bytes(self.take(4)?.try_into().unwrap());
+            }
+        }
+        let n = u32::from_le_bytes(self.take(4)?.try_into().unwrap()) as usize;
+        let body = self.take(n * 12)?;
+        let mut coords = Vec::with_capacity(n);
+        for chunk in body.chunks_exact(12) {
+            coords.push([
+                f32::from_le_bytes(chunk[0..4].try_into().unwrap()),
+                f32::from_le_bytes(chunk[4..8].try_into().unwrap()),
+                f32::from_le_bytes(chunk[8..12].try_into().unwrap()),
+            ]);
+        }
+        Ok(Some(Frame {
+            step,
+            time,
+            pbc,
+            coords,
+        }))
+    }
+}
+
+/// Encode a whole trajectory.
+pub fn write_xtcf(traj: &Trajectory) -> Result<Vec<u8>, FormatError> {
+    let mut w = XtcfWriter::new();
+    for f in &traj.frames {
+        w.write_frame(f)?;
+    }
+    Ok(w.into_bytes())
+}
+
+/// Decode a whole XTCF byte stream.
+pub fn read_xtcf(data: &[u8]) -> Result<Trajectory, FormatError> {
+    let mut r = XtcfReader::new(data)?;
+    let mut frames = Vec::new();
+    while let Some(f) = r.next_frame()? {
+        frames.push(f);
+    }
+    Ok(Trajectory::from_frames(frames))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj() -> Trajectory {
+        Trajectory::from_frames(
+            (0..4)
+                .map(|f| Frame {
+                    step: f * 10,
+                    time: f as f32 * 0.5,
+                    pbc: PbcBox::rectangular(3.0, 4.0, 5.0),
+                    coords: (0..25)
+                        .map(|a| [a as f32 * 0.1, f as f32, -(a as f32)])
+                        .collect(),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn lossless_roundtrip() {
+        let t = traj();
+        let bytes = write_xtcf(&t).unwrap();
+        assert_eq!(bytes.len(), encoded_len(4, 25));
+        let back = read_xtcf(&bytes).unwrap();
+        assert_eq!(t, back); // bit exact
+    }
+
+    #[test]
+    fn empty_trajectory() {
+        let bytes = write_xtcf(&Trajectory::new()).unwrap();
+        assert_eq!(bytes.len(), XTCF_HEADER_LEN);
+        assert!(read_xtcf(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = write_xtcf(&traj()).unwrap();
+        bytes[0] ^= 0xFF;
+        assert!(read_xtcf(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = write_xtcf(&traj()).unwrap();
+        bytes[4] = 9;
+        assert!(read_xtcf(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = write_xtcf(&traj()).unwrap();
+        assert!(read_xtcf(&bytes[..bytes.len() - 1]).is_err());
+        assert!(read_xtcf(&bytes[..5]).is_err());
+    }
+
+    #[test]
+    fn mixed_atom_counts_rejected() {
+        let mut w = XtcfWriter::new();
+        w.write_frame(&Frame::from_coords(vec![[0.0; 3]; 3])).unwrap();
+        assert!(w.write_frame(&Frame::from_coords(vec![[0.0; 3]; 4])).is_err());
+    }
+
+    #[test]
+    fn record_len_matches() {
+        let t = traj();
+        let bytes = write_xtcf(&t).unwrap();
+        let body = bytes.len() - XTCF_HEADER_LEN;
+        assert_eq!(body % frame_record_len(25), 0);
+        assert_eq!(body / frame_record_len(25), 4);
+    }
+}

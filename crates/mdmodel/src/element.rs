@@ -1,0 +1,201 @@
+//! Chemical elements with the handful of per-element properties the rest of
+//! the stack needs: mass (memory/size accounting sanity checks) and covalent
+//! radius (bond inference in the renderer).
+
+use serde::{Deserialize, Serialize};
+
+/// Chemical element of an atom.
+///
+/// Only elements that actually occur in MD systems of the GPCR kind are
+/// enumerated; everything else maps to [`Element::Other`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Element {
+    H,
+    C,
+    N,
+    O,
+    P,
+    S,
+    Na,
+    Cl,
+    K,
+    Mg,
+    Ca,
+    Zn,
+    Fe,
+    /// Anything not covered above (e.g. exotic hetero groups).
+    Other,
+}
+
+impl Element {
+    /// Guess the element from a PDB atom name (columns 13-16) and residue
+    /// name. PDB atom names right-pad the element and may prefix a digit for
+    /// hydrogens ("1HB2"); the element is the first alphabetic character,
+    /// except for two-letter ions which are matched explicitly.
+    pub fn from_pdb_atom_name(name: &str, resname: &str) -> Element {
+        let trimmed = name.trim();
+        let upper = trimmed.to_ascii_uppercase();
+        // Two-letter ions / metals are usually their own residue.
+        match resname.trim().to_ascii_uppercase().as_str() {
+            "NA" | "NA+" | "SOD" => return Element::Na,
+            "CL" | "CL-" | "CLA" => return Element::Cl,
+            "K" | "K+" | "POT" => return Element::K,
+            "MG" | "MG2" => return Element::Mg,
+            "CAL" | "CA2" => return Element::Ca,
+            "ZN" | "ZN2" => return Element::Zn,
+            _ => {}
+        }
+        // Explicit two-letter element spellings inside larger residues.
+        if upper.starts_with("NA") && upper.len() <= 3 {
+            return Element::Na;
+        }
+        if upper.starts_with("CL") && upper.len() <= 3 {
+            return Element::Cl;
+        }
+        if upper.starts_with("FE") {
+            return Element::Fe;
+        }
+        if upper.starts_with("ZN") {
+            return Element::Zn;
+        }
+        if upper.starts_with("MG") {
+            return Element::Mg;
+        }
+        let first_alpha = upper.chars().find(|c| c.is_ascii_alphabetic());
+        match first_alpha {
+            Some('H') => Element::H,
+            Some('C') => Element::C,
+            Some('N') => Element::N,
+            Some('O') => Element::O,
+            Some('P') => Element::P,
+            Some('S') => Element::S,
+            Some('K') => Element::K,
+            _ => Element::Other,
+        }
+    }
+
+    /// Standard atomic mass in unified atomic mass units (Daltons).
+    pub fn mass(self) -> f32 {
+        match self {
+            Element::H => 1.008,
+            Element::C => 12.011,
+            Element::N => 14.007,
+            Element::O => 15.999,
+            Element::P => 30.974,
+            Element::S => 32.06,
+            Element::Na => 22.990,
+            Element::Cl => 35.45,
+            Element::K => 39.098,
+            Element::Mg => 24.305,
+            Element::Ca => 40.078,
+            Element::Zn => 65.38,
+            Element::Fe => 55.845,
+            Element::Other => 20.0,
+        }
+    }
+
+    /// Covalent radius in nanometres; pairs of atoms closer than the sum of
+    /// radii times a tolerance are treated as bonded (VMD uses the same
+    /// distance heuristic when a file carries no CONECT records).
+    pub fn covalent_radius_nm(self) -> f32 {
+        match self {
+            Element::H => 0.031,
+            Element::C => 0.076,
+            Element::N => 0.071,
+            Element::O => 0.066,
+            Element::P => 0.107,
+            Element::S => 0.105,
+            Element::Na => 0.166,
+            Element::Cl => 0.102,
+            Element::K => 0.203,
+            Element::Mg => 0.141,
+            Element::Ca => 0.176,
+            Element::Zn => 0.122,
+            Element::Fe => 0.132,
+            Element::Other => 0.12,
+        }
+    }
+
+    /// One-letter symbol used when writing PDB element columns (77-78).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Element::H => "H",
+            Element::C => "C",
+            Element::N => "N",
+            Element::O => "O",
+            Element::P => "P",
+            Element::S => "S",
+            Element::Na => "NA",
+            Element::Cl => "CL",
+            Element::K => "K",
+            Element::Mg => "MG",
+            Element::Ca => "CA",
+            Element::Zn => "ZN",
+            Element::Fe => "FE",
+            Element::Other => "X",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hydrogen_with_digit_prefix() {
+        assert_eq!(Element::from_pdb_atom_name("1HB2", "ALA"), Element::H);
+        assert_eq!(Element::from_pdb_atom_name(" HG1", "THR"), Element::H);
+    }
+
+    #[test]
+    fn backbone_atoms() {
+        assert_eq!(Element::from_pdb_atom_name(" CA ", "GLY"), Element::C);
+        assert_eq!(Element::from_pdb_atom_name(" N  ", "GLY"), Element::N);
+        assert_eq!(Element::from_pdb_atom_name(" O  ", "GLY"), Element::O);
+        assert_eq!(Element::from_pdb_atom_name(" SD ", "MET"), Element::S);
+    }
+
+    #[test]
+    fn ions_by_residue() {
+        assert_eq!(Element::from_pdb_atom_name("NA", "SOD"), Element::Na);
+        assert_eq!(Element::from_pdb_atom_name("CLA", "CLA"), Element::Cl);
+        assert_eq!(Element::from_pdb_atom_name("K", "POT"), Element::K);
+    }
+
+    #[test]
+    fn calcium_vs_alpha_carbon() {
+        // " CA " in a protein residue is an alpha carbon, not calcium.
+        assert_eq!(Element::from_pdb_atom_name(" CA ", "LEU"), Element::C);
+        assert_eq!(Element::from_pdb_atom_name("CA", "CA2"), Element::Ca);
+    }
+
+    #[test]
+    fn lipid_phosphorus() {
+        assert_eq!(Element::from_pdb_atom_name(" P  ", "POPC"), Element::P);
+    }
+
+    #[test]
+    fn masses_are_positive_and_ordered() {
+        assert!(Element::H.mass() < Element::C.mass());
+        assert!(Element::C.mass() < Element::Fe.mass());
+        for e in [
+            Element::H,
+            Element::C,
+            Element::N,
+            Element::O,
+            Element::P,
+            Element::S,
+            Element::Na,
+            Element::Cl,
+            Element::K,
+            Element::Mg,
+            Element::Ca,
+            Element::Zn,
+            Element::Fe,
+            Element::Other,
+        ] {
+            assert!(e.mass() > 0.0);
+            assert!(e.covalent_radius_nm() > 0.0);
+        }
+    }
+}

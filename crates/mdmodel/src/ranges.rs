@@ -1,0 +1,382 @@
+//! Sorted disjoint half-open index ranges.
+//!
+//! Algorithm 1 of the paper produces, per tag, a list of `[begin, end)`
+//! atom-index ranges ("Data Subset Ranges"). [`IndexRanges`] is that value:
+//! a normalized (sorted, disjoint, coalesced) set of half-open ranges over
+//! `usize` indices, with the set operations the indexer and splitter need.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// A normalized set of half-open index ranges.
+///
+/// ```
+/// use ada_mdmodel::IndexRanges;
+///
+/// let protein = IndexRanges::from_ranges([0..100, 150..200]);
+/// let misc = protein.complement(300);
+/// assert_eq!(protein.count(), 150);
+/// assert_eq!(misc.count(), 150);
+/// assert!(protein.intersect(&misc).is_empty());
+///
+/// // The splitter's core operation: gather a tagged subset.
+/// let data: Vec<u32> = (0..300).collect();
+/// let subset = protein.gather(&data);
+/// assert_eq!(subset.len(), 150);
+/// assert_eq!(subset[100], 150); // second run starts at index 150
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexRanges {
+    /// Invariant: sorted by start, non-empty, non-overlapping, and
+    /// non-adjacent (adjacent ranges are coalesced).
+    ranges: Vec<Range<usize>>,
+}
+
+impl IndexRanges {
+    /// The empty set.
+    pub fn new() -> IndexRanges {
+        IndexRanges::default()
+    }
+
+    /// A single contiguous range. Empty input ranges yield the empty set.
+    pub fn single(range: Range<usize>) -> IndexRanges {
+        let mut r = IndexRanges::new();
+        r.push(range);
+        r
+    }
+
+    /// Build from an arbitrary list of (possibly overlapping, unsorted)
+    /// ranges.
+    pub fn from_ranges(iter: impl IntoIterator<Item = Range<usize>>) -> IndexRanges {
+        let mut raw: Vec<Range<usize>> = iter.into_iter().filter(|r| r.start < r.end).collect();
+        raw.sort_by_key(|r| r.start);
+        let mut out = IndexRanges::new();
+        for r in raw {
+            out.push(r);
+        }
+        out
+    }
+
+    /// Build from individual indices (need not be sorted or unique).
+    pub fn from_indices(iter: impl IntoIterator<Item = usize>) -> IndexRanges {
+        let mut idx: Vec<usize> = iter.into_iter().collect();
+        idx.sort_unstable();
+        idx.dedup();
+        let mut out = IndexRanges::new();
+        for i in idx {
+            out.push(i..i + 1);
+        }
+        out
+    }
+
+    /// Append a range, coalescing with the tail when sorted input is pushed;
+    /// out-of-order pushes fall back to a merge.
+    pub fn push(&mut self, range: Range<usize>) {
+        if range.start >= range.end {
+            return;
+        }
+        match self.ranges.last_mut() {
+            Some(last) if range.start > last.end => self.ranges.push(range),
+            Some(last) if range.start >= last.start => {
+                // Overlapping or adjacent with the tail: extend.
+                last.end = last.end.max(range.end);
+            }
+            Some(_) => {
+                // Out of order: rebuild.
+                let mut all = std::mem::take(&mut self.ranges);
+                all.push(range);
+                *self = IndexRanges::from_ranges(all);
+            }
+            None => self.ranges.push(range),
+        }
+    }
+
+    /// Number of indices covered.
+    pub fn count(&self) -> usize {
+        self.ranges.iter().map(|r| r.end - r.start).sum()
+    }
+
+    /// True when no index is covered.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of maximal contiguous runs.
+    pub fn run_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether `index` is covered.
+    pub fn contains(&self, index: usize) -> bool {
+        // Binary search over starts.
+        self.ranges.binary_search_by(|r| {
+            if index < r.start {
+                std::cmp::Ordering::Greater
+            } else if index >= r.end {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }).is_ok()
+    }
+
+    /// Iterate the contiguous ranges.
+    pub fn iter_ranges(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        self.ranges.iter().cloned()
+    }
+
+    /// Iterate every covered index in ascending order.
+    pub fn iter_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.ranges.iter().flat_map(|r| r.clone())
+    }
+
+    /// Smallest covered index, if any.
+    pub fn min(&self) -> Option<usize> {
+        self.ranges.first().map(|r| r.start)
+    }
+
+    /// One past the largest covered index, if any.
+    pub fn end(&self) -> Option<usize> {
+        self.ranges.last().map(|r| r.end)
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IndexRanges) -> IndexRanges {
+        IndexRanges::from_ranges(self.iter_ranges().chain(other.iter_ranges()))
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &IndexRanges) -> IndexRanges {
+        let mut out = IndexRanges::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.ranges.len() && j < other.ranges.len() {
+            let a = &self.ranges[i];
+            let b = &other.ranges[j];
+            let start = a.start.max(b.start);
+            let end = a.end.min(b.end);
+            if start < end {
+                out.push(start..end);
+            }
+            if a.end <= b.end {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        out
+    }
+
+    /// Complement within `0..universe`.
+    pub fn complement(&self, universe: usize) -> IndexRanges {
+        let mut out = IndexRanges::new();
+        let mut cursor = 0usize;
+        for r in &self.ranges {
+            let start = r.start.min(universe);
+            if cursor < start {
+                out.push(cursor..start);
+            }
+            cursor = cursor.max(r.end.min(universe));
+        }
+        if cursor < universe {
+            out.push(cursor..universe);
+        }
+        out
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &IndexRanges) -> IndexRanges {
+        match self.end() {
+            None => IndexRanges::new(),
+            Some(end) => self.intersect(&other.complement(end)),
+        }
+    }
+
+    /// Gather the covered elements of `source` into a new Vec (the splitter's
+    /// core operation: extracting a tagged subset of per-atom data).
+    pub fn gather<T: Copy>(&self, source: &[T]) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.count());
+        for r in &self.ranges {
+            out.extend_from_slice(&source[r.start.min(source.len())..r.end.min(source.len())]);
+        }
+        out
+    }
+
+    /// Scatter `values` (one per covered index, ascending) into `dest`.
+    /// Panics if `values` is shorter than [`count`](Self::count) or `dest`
+    /// does not cover the maximum index.
+    pub fn scatter<T: Copy>(&self, values: &[T], dest: &mut [T]) {
+        let mut k = 0usize;
+        for r in &self.ranges {
+            let n = r.end - r.start;
+            dest[r.start..r.end].copy_from_slice(&values[k..k + n]);
+            k += n;
+        }
+    }
+}
+
+impl FromIterator<Range<usize>> for IndexRanges {
+    fn from_iter<I: IntoIterator<Item = Range<usize>>>(iter: I) -> IndexRanges {
+        IndexRanges::from_ranges(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_and_count() {
+        let r = IndexRanges::single(3..7);
+        assert_eq!(r.count(), 4);
+        assert_eq!(r.run_count(), 1);
+        assert!(r.contains(3));
+        assert!(r.contains(6));
+        assert!(!r.contains(7));
+        assert!(!r.contains(2));
+    }
+
+    #[test]
+    fn empty_range_ignored() {
+        assert!(IndexRanges::single(5..5).is_empty());
+        #[allow(clippy::reversed_empty_ranges)] // deliberately inverted input
+        let inverted = IndexRanges::single(7..3);
+        assert!(inverted.is_empty());
+    }
+
+    #[test]
+    fn push_coalesces_adjacent() {
+        let mut r = IndexRanges::new();
+        r.push(0..3);
+        r.push(3..5);
+        assert_eq!(r.run_count(), 1);
+        assert_eq!(r.count(), 5);
+    }
+
+    #[test]
+    fn push_out_of_order_normalizes() {
+        let mut r = IndexRanges::new();
+        r.push(10..12);
+        r.push(0..2);
+        r.push(11..15);
+        assert_eq!(r.run_count(), 2);
+        assert_eq!(r.count(), 2 + 5);
+        assert_eq!(r.iter_indices().collect::<Vec<_>>(), vec![0, 1, 10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn from_indices_merges_runs() {
+        let r = IndexRanges::from_indices([5, 1, 2, 3, 9, 10, 2]);
+        assert_eq!(r.run_count(), 3);
+        assert_eq!(r.count(), 6);
+        assert_eq!(r.min(), Some(1));
+        assert_eq!(r.end(), Some(11));
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let a = IndexRanges::from_ranges([0..5, 10..15]);
+        let b = IndexRanges::single(3..12);
+        assert_eq!(a.union(&b), IndexRanges::single(0..15));
+        assert_eq!(a.intersect(&b), IndexRanges::from_ranges([3..5, 10..12]));
+        assert_eq!(a.difference(&b), IndexRanges::from_ranges([0..3, 12..15]));
+    }
+
+    #[test]
+    fn complement_basics() {
+        let a = IndexRanges::from_ranges([2..4, 6..8]);
+        assert_eq!(a.complement(10), IndexRanges::from_ranges([0..2, 4..6, 8..10]));
+        assert_eq!(IndexRanges::new().complement(3), IndexRanges::single(0..3));
+        assert_eq!(IndexRanges::single(0..3).complement(3), IndexRanges::new());
+    }
+
+    #[test]
+    fn complement_clamps_to_universe() {
+        let a = IndexRanges::single(2..100);
+        assert_eq!(a.complement(5), IndexRanges::single(0..2));
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let data: Vec<u32> = (0..20).collect();
+        let sel = IndexRanges::from_ranges([2..5, 9..12, 19..20]);
+        let gathered = sel.gather(&data);
+        assert_eq!(gathered, vec![2, 3, 4, 9, 10, 11, 19]);
+        let mut dest = vec![0u32; 20];
+        sel.scatter(&gathered, &mut dest);
+        for i in sel.iter_indices() {
+            assert_eq!(dest[i], data[i]);
+        }
+    }
+
+    fn arb_ranges(max: usize) -> impl Strategy<Value = IndexRanges> {
+        prop::collection::vec((0..max, 0..max), 0..12).prop_map(|pairs| {
+            IndexRanges::from_ranges(
+                pairs
+                    .into_iter()
+                    .map(|(a, b)| if a <= b { a..b } else { b..a }),
+            )
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_normalized_invariant(r in arb_ranges(200)) {
+            let v: Vec<_> = r.iter_ranges().collect();
+            for w in v.windows(2) {
+                // Sorted, disjoint, non-adjacent.
+                prop_assert!(w[0].end < w[1].start);
+            }
+            for rr in &v {
+                prop_assert!(rr.start < rr.end);
+            }
+        }
+
+        #[test]
+        fn prop_union_count_via_membership(a in arb_ranges(100), b in arb_ranges(100)) {
+            let u = a.union(&b);
+            for i in 0..100usize {
+                prop_assert_eq!(u.contains(i), a.contains(i) || b.contains(i));
+            }
+        }
+
+        #[test]
+        fn prop_intersect_matches_membership(a in arb_ranges(100), b in arb_ranges(100)) {
+            let x = a.intersect(&b);
+            for i in 0..100usize {
+                prop_assert_eq!(x.contains(i), a.contains(i) && b.contains(i));
+            }
+        }
+
+        #[test]
+        fn prop_complement_partitions(a in arb_ranges(100)) {
+            let c = a.complement(100);
+            prop_assert_eq!(a.count() + c.count(), 100);
+            prop_assert!(a.intersect(&c).is_empty());
+        }
+
+        #[test]
+        fn prop_difference_matches_membership(a in arb_ranges(100), b in arb_ranges(100)) {
+            let d = a.difference(&b);
+            for i in 0..100usize {
+                prop_assert_eq!(d.contains(i), a.contains(i) && !b.contains(i));
+            }
+        }
+
+        #[test]
+        fn prop_from_indices_roundtrip(mut idx in prop::collection::vec(0usize..500, 0..60)) {
+            let r = IndexRanges::from_indices(idx.clone());
+            idx.sort_unstable();
+            idx.dedup();
+            prop_assert_eq!(r.iter_indices().collect::<Vec<_>>(), idx);
+        }
+
+        #[test]
+        fn prop_gather_matches_iter(a in arb_ranges(80)) {
+            let data: Vec<usize> = (0..80).collect();
+            let g = a.gather(&data);
+            let expect: Vec<usize> = a.iter_indices().collect();
+            prop_assert_eq!(g, expect);
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! A small VMD-flavoured selection language.
+//!
+//! Grammar (lowest to highest precedence):
+//!
+//! ```text
+//! expr   := or
+//! or     := and ("or" and)*
+//! and    := unary ("and" unary)*
+//! unary  := "not" unary | primary
+//! primary:= "protein" | "water" | "lipid" | "ion" | "nucleic" | "ligand"
+//!         | "all" | "none" | "backbone" | "hydrogen" | "noh"
+//!         | "resname" NAME+
+//!         | "name" NAME+
+//!         | "chain" CHAR+
+//!         | "index" N ":" M        (half-open)
+//!         | "resid" N ":" M        (inclusive, like VMD)
+//!         | "within" FLOAT "of" unary   (distance in nm, reference coords)
+//!         | "(" expr ")"
+//! ```
+
+use crate::category::Category;
+use crate::ranges::IndexRanges;
+use crate::system::MolecularSystem;
+
+/// A parsed selection expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selection {
+    All,
+    None,
+    Category(Category),
+    ResName(Vec<String>),
+    AtomName(Vec<String>),
+    Chain(Vec<char>),
+    /// Half-open atom index range.
+    Index(usize, usize),
+    /// Inclusive residue id range.
+    Resid(i32, i32),
+    /// Protein backbone atoms (N, CA, C, O of protein residues).
+    Backbone,
+    /// Hydrogen atoms.
+    Hydrogen,
+    /// Atoms within a distance (nm) of another selection, measured on the
+    /// system's reference coordinates (includes the inner selection).
+    Within(f32, Box<Selection>),
+    Not(Box<Selection>),
+    And(Box<Selection>, Box<Selection>),
+    Or(Box<Selection>, Box<Selection>),
+}
+
+impl Selection {
+    /// Evaluate against a system, producing the matching atom index ranges.
+    pub fn evaluate(&self, system: &MolecularSystem) -> IndexRanges {
+        match self {
+            Selection::All => IndexRanges::single(0..system.len()),
+            Selection::None => IndexRanges::new(),
+            Selection::Category(c) => system.category_ranges(*c),
+            Selection::ResName(names) => IndexRanges::from_indices(
+                system.atoms.iter().enumerate().filter_map(|(i, a)| {
+                    let r = a.resname.trim().to_ascii_uppercase();
+                    names.contains(&r).then_some(i)
+                }),
+            ),
+            Selection::AtomName(names) => IndexRanges::from_indices(
+                system.atoms.iter().enumerate().filter_map(|(i, a)| {
+                    let n = a.name.trim().to_ascii_uppercase();
+                    names.contains(&n).then_some(i)
+                }),
+            ),
+            Selection::Chain(chains) => IndexRanges::from_indices(
+                system
+                    .atoms
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, a)| chains.contains(&a.chain).then_some(i)),
+            ),
+            Selection::Index(a, b) => IndexRanges::single((*a).min(system.len())..(*b).min(system.len())),
+            Selection::Resid(lo, hi) => {
+                let mut out = IndexRanges::new();
+                for res in &system.residues {
+                    if res.resid >= *lo && res.resid <= *hi {
+                        out.push(res.atom_start..res.atom_end);
+                    }
+                }
+                out
+            }
+            Selection::Backbone => {
+                let protein = system.category_ranges(Category::Protein);
+                IndexRanges::from_indices(protein.iter_indices().filter(|&i| {
+                    matches!(system.atoms[i].name.trim(), "N" | "CA" | "C" | "O")
+                }))
+            }
+            Selection::Hydrogen => IndexRanges::from_indices(
+                system
+                    .atoms
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, a)| (a.element == crate::Element::H).then_some(i)),
+            ),
+            Selection::Within(dist, inner) => {
+                let seed = inner.evaluate(system);
+                if seed.is_empty() || system.is_empty() {
+                    return seed;
+                }
+                let cell = dist.max(1e-3);
+                let grid = crate::bonds::CellGrid::build(&system.coords, cell);
+                let seed_coords: Vec<[f32; 3]> = seed.gather(&system.coords);
+                let d2max = (*dist as f64 * *dist as f64) as f32;
+                let mut hits: Vec<usize> = seed.iter_indices().collect();
+                // For each atom, check distance to any seed atom via the
+                // grid around the atom itself (seed lookup is O(cells)).
+                let mut buffer = Vec::new();
+                for (k, &sc) in seed_coords.iter().enumerate() {
+                    let _ = k;
+                    buffer.clear();
+                    grid.neighbors_within(sc, *dist, &mut buffer);
+                    for &j in &buffer {
+                        let c = system.coords[j as usize];
+                        let dx = c[0] - sc[0];
+                        let dy = c[1] - sc[1];
+                        let dz = c[2] - sc[2];
+                        if dx * dx + dy * dy + dz * dz <= d2max {
+                            hits.push(j as usize);
+                        }
+                    }
+                }
+                IndexRanges::from_indices(hits)
+            }
+            Selection::Not(inner) => inner.evaluate(system).complement(system.len()),
+            Selection::And(a, b) => a.evaluate(system).intersect(&b.evaluate(system)),
+            Selection::Or(a, b) => a.evaluate(system).union(&b.evaluate(system)),
+        }
+    }
+}
+
+/// Parse a selection string.
+pub fn parse_selection(text: &str) -> Result<Selection, String> {
+    let tokens = tokenize(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.parse_or()?;
+    if p.pos != p.tokens.len() {
+        return Err(format!("trailing tokens at position {}", p.pos));
+    }
+    Ok(expr)
+}
+
+fn tokenize(text: &str) -> Result<Vec<String>, String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        match c {
+            '(' | ')' | ':' => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+                tokens.push(c.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '+' || c == '\''
+                || c == '.' =>
+            {
+                cur.push(c)
+            }
+            other => return Err(format!("unexpected character '{}'", other)),
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<String>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(|s| s.as_str())
+    }
+
+    fn next(&mut self) -> Option<String> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn parse_or(&mut self) -> Result<Selection, String> {
+        let mut left = self.parse_and()?;
+        while self.peek() == Some("or") {
+            self.next();
+            let right = self.parse_and()?;
+            left = Selection::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Selection, String> {
+        let mut left = self.parse_unary()?;
+        while self.peek() == Some("and") {
+            self.next();
+            let right = self.parse_unary()?;
+            left = Selection::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Selection, String> {
+        if self.peek() == Some("not") {
+            self.next();
+            let inner = self.parse_unary()?;
+            return Ok(Selection::Not(Box::new(inner)));
+        }
+        self.parse_primary()
+    }
+
+    fn is_keyword(word: &str) -> bool {
+        matches!(
+            word,
+            "and" | "or" | "not" | "(" | ")" | ":" | "protein" | "water" | "lipid" | "ion"
+                | "nucleic" | "ligand" | "all" | "none" | "resname" | "name" | "chain" | "index"
+                | "resid" | "backbone" | "hydrogen" | "noh" | "within" | "of"
+        )
+    }
+
+    fn take_names(&mut self) -> Vec<String> {
+        let mut names = Vec::new();
+        while let Some(t) = self.peek() {
+            if Self::is_keyword(t) {
+                break;
+            }
+            names.push(t.to_ascii_uppercase());
+            self.next();
+        }
+        names
+    }
+
+    fn parse_range_int(&mut self) -> Result<(i64, i64), String> {
+        let a: i64 = self
+            .next()
+            .ok_or("expected number")?
+            .parse()
+            .map_err(|e| format!("bad number: {}", e))?;
+        if self.peek() == Some(":") {
+            self.next();
+            let b: i64 = self
+                .next()
+                .ok_or("expected number after ':'")?
+                .parse()
+                .map_err(|e| format!("bad number: {}", e))?;
+            Ok((a, b))
+        } else {
+            Ok((a, a))
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Selection, String> {
+        let tok = self.next().ok_or("unexpected end of selection")?;
+        match tok.as_str() {
+            "protein" => Ok(Selection::Category(Category::Protein)),
+            "water" => Ok(Selection::Category(Category::Water)),
+            "lipid" => Ok(Selection::Category(Category::Lipid)),
+            "ion" => Ok(Selection::Category(Category::Ion)),
+            "nucleic" => Ok(Selection::Category(Category::NucleicAcid)),
+            "ligand" => Ok(Selection::Category(Category::Ligand)),
+            "all" => Ok(Selection::All),
+            "none" => Ok(Selection::None),
+            "backbone" => Ok(Selection::Backbone),
+            "hydrogen" => Ok(Selection::Hydrogen),
+            "noh" => Ok(Selection::Not(Box::new(Selection::Hydrogen))),
+            "within" => {
+                let dist: f32 = self
+                    .next()
+                    .ok_or("within needs a distance")?
+                    .parse()
+                    .map_err(|e| format!("bad distance: {}", e))?;
+                if !(dist.is_finite() && dist >= 0.0) {
+                    return Err("within distance must be a finite non-negative number".into());
+                }
+                if self.next().as_deref() != Some("of") {
+                    return Err("expected 'of' after within distance".into());
+                }
+                let inner = self.parse_unary()?;
+                Ok(Selection::Within(dist, Box::new(inner)))
+            }
+            "resname" => {
+                let names = self.take_names();
+                if names.is_empty() {
+                    return Err("resname needs at least one name".into());
+                }
+                Ok(Selection::ResName(names))
+            }
+            "name" => {
+                let names = self.take_names();
+                if names.is_empty() {
+                    return Err("name needs at least one name".into());
+                }
+                Ok(Selection::AtomName(names))
+            }
+            "chain" => {
+                let names = self.take_names();
+                if names.is_empty() {
+                    return Err("chain needs at least one id".into());
+                }
+                let chains = names
+                    .iter()
+                    .map(|n| {
+                        if n.len() == 1 {
+                            Ok(n.chars().next().unwrap())
+                        } else {
+                            Err(format!("chain id must be one character, got '{}'", n))
+                        }
+                    })
+                    .collect::<Result<Vec<char>, String>>()?;
+                Ok(Selection::Chain(chains))
+            }
+            "index" => {
+                let (a, b) = self.parse_range_int()?;
+                if a < 0 || b < a {
+                    return Err("index range must be 0 <= a <= b".into());
+                }
+                // Single index means one atom; ranged form is half-open.
+                let end = if a == b { a as usize + 1 } else { b as usize };
+                Ok(Selection::Index(a as usize, end))
+            }
+            "resid" => {
+                let (a, b) = self.parse_range_int()?;
+                if b < a {
+                    return Err("resid range must be a <= b".into());
+                }
+                Ok(Selection::Resid(a as i32, b as i32))
+            }
+            "(" => {
+                let inner = self.parse_or()?;
+                if self.next().as_deref() != Some(")") {
+                    return Err("missing ')'".into());
+                }
+                Ok(inner)
+            }
+            other => Err(format!("unexpected token '{}'", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+    use crate::pbc::PbcBox;
+    use crate::system::Atom;
+
+    fn atom(serial: u32, name: &str, resname: &str, resid: i32, chain: char) -> Atom {
+        Atom {
+            serial,
+            name: name.to_string(),
+            resname: resname.to_string(),
+            resid,
+            chain,
+            element: Element::from_pdb_atom_name(name, resname),
+            hetero: false,
+        }
+    }
+
+    fn system() -> MolecularSystem {
+        let atoms = vec![
+            atom(1, "N", "ALA", 1, 'A'),
+            atom(2, "CA", "ALA", 1, 'A'),
+            atom(3, "CA", "GLY", 2, 'A'),
+            atom(4, "OW", "SOL", 3, 'W'),
+            atom(5, "P", "POPC", 4, 'L'),
+            atom(6, "NA", "SOD", 5, 'I'),
+        ];
+        let n = atoms.len();
+        MolecularSystem::from_atoms("t", atoms, vec![[0.0; 3]; n], PbcBox::zero())
+    }
+
+    #[test]
+    fn keywords() {
+        let s = system();
+        assert_eq!(parse_selection("protein").unwrap().evaluate(&s).count(), 3);
+        assert_eq!(parse_selection("water").unwrap().evaluate(&s).count(), 1);
+        assert_eq!(parse_selection("lipid").unwrap().evaluate(&s).count(), 1);
+        assert_eq!(parse_selection("ion").unwrap().evaluate(&s).count(), 1);
+        assert_eq!(parse_selection("all").unwrap().evaluate(&s).count(), 6);
+        assert_eq!(parse_selection("none").unwrap().evaluate(&s).count(), 0);
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let s = system();
+        assert_eq!(
+            parse_selection("not protein").unwrap().evaluate(&s).count(),
+            3
+        );
+        assert_eq!(
+            parse_selection("protein or water")
+                .unwrap()
+                .evaluate(&s)
+                .count(),
+            4
+        );
+        assert_eq!(
+            parse_selection("protein and name CA")
+                .unwrap()
+                .evaluate(&s)
+                .count(),
+            2
+        );
+        assert_eq!(
+            parse_selection("not (protein or water)")
+                .unwrap()
+                .evaluate(&s)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter() {
+        let s = system();
+        // "water or protein and name CA" == water or (protein and name CA)
+        let r = parse_selection("water or protein and name CA")
+            .unwrap()
+            .evaluate(&s);
+        assert_eq!(r.count(), 3);
+    }
+
+    #[test]
+    fn resname_and_chain() {
+        let s = system();
+        assert_eq!(
+            parse_selection("resname ALA SOL")
+                .unwrap()
+                .evaluate(&s)
+                .count(),
+            3
+        );
+        assert_eq!(parse_selection("chain A").unwrap().evaluate(&s).count(), 3);
+        assert_eq!(
+            parse_selection("chain W I").unwrap().evaluate(&s).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn index_and_resid() {
+        let s = system();
+        assert_eq!(
+            parse_selection("index 0:3").unwrap().evaluate(&s).count(),
+            3
+        );
+        assert_eq!(parse_selection("index 5").unwrap().evaluate(&s).count(), 1);
+        assert_eq!(
+            parse_selection("resid 1:2").unwrap().evaluate(&s).count(),
+            3
+        );
+        assert_eq!(parse_selection("resid 4").unwrap().evaluate(&s).count(), 1);
+    }
+
+    #[test]
+    fn index_clamps_to_system() {
+        let s = system();
+        assert_eq!(
+            parse_selection("index 0:999").unwrap().evaluate(&s).count(),
+            6
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_selection("").is_err());
+        assert!(parse_selection("resname").is_err());
+        assert!(parse_selection("(protein").is_err());
+        assert!(parse_selection("protein extra").is_err());
+        assert!(parse_selection("index 5:2").is_err());
+        assert!(parse_selection("chain AB").is_err());
+        assert!(parse_selection("@#!").is_err());
+    }
+
+    fn system_with_coords() -> MolecularSystem {
+        let atoms = vec![
+            atom(1, "N", "ALA", 1, 'A'),
+            atom(2, "CA", "ALA", 1, 'A'),
+            atom(3, "CB1", "ALA", 1, 'A'),
+            atom(4, "HB1", "ALA", 1, 'A'),
+            atom(5, "OW", "SOL", 2, 'W'),
+            atom(6, "OW", "SOL", 3, 'W'),
+        ];
+        let coords = vec![
+            [0.0, 0.0, 0.0],
+            [0.15, 0.0, 0.0],
+            [0.3, 0.0, 0.0],
+            [0.35, 0.0, 0.0],
+            [0.5, 0.0, 0.0],  // close water
+            [5.0, 5.0, 5.0],  // distant water
+        ];
+        MolecularSystem::from_atoms("t", atoms, coords, PbcBox::zero())
+    }
+
+    #[test]
+    fn backbone_and_hydrogen() {
+        let s = system_with_coords();
+        let bb = parse_selection("backbone").unwrap().evaluate(&s);
+        assert_eq!(bb.iter_indices().collect::<Vec<_>>(), vec![0, 1]);
+        let h = parse_selection("hydrogen").unwrap().evaluate(&s);
+        assert_eq!(h.iter_indices().collect::<Vec<_>>(), vec![3]);
+        let noh = parse_selection("noh").unwrap().evaluate(&s);
+        assert_eq!(noh.count(), 5);
+        assert!(!noh.contains(3));
+    }
+
+    #[test]
+    fn within_distance_selects_shell() {
+        let s = system_with_coords();
+        // Water within 0.25 nm of protein: the close water (0.5 vs CB1 at
+        // 0.3 → 0.2 nm), not the distant one.
+        let sel = parse_selection("water and within 0.25 of protein")
+            .unwrap()
+            .evaluate(&s);
+        assert_eq!(sel.iter_indices().collect::<Vec<_>>(), vec![4]);
+        // within includes the seed itself.
+        let sel2 = parse_selection("within 0.01 of protein").unwrap().evaluate(&s);
+        assert_eq!(sel2.count(), 4);
+    }
+
+    #[test]
+    fn within_parse_errors() {
+        assert!(parse_selection("within of protein").is_err());
+        assert!(parse_selection("within 1.0 protein").is_err());
+        assert!(parse_selection("within -1.0 of protein").is_err());
+    }
+
+    #[test]
+    fn double_negation() {
+        let s = system();
+        let a = parse_selection("protein").unwrap().evaluate(&s);
+        let b = parse_selection("not not protein").unwrap().evaluate(&s);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,141 @@
+//! Platform definitions: the three testbeds of §4.
+
+use ada_storagesim::CpuProfile;
+
+/// Which testbed a run executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlatformKind {
+    /// §4.1: single server, Xeon E5-2603 v4, 16 GB DRAM, 2 × 256 GB NVMe,
+    /// ext4.
+    SsdServer,
+    /// §4.2: nine nodes — 3 compute (E5-2603 v4), 3 HDD storage, 3 SSD
+    /// storage; two OrangeFS instances; Table 4.
+    Cluster9,
+    /// §4.3: fat node — 4 × Xeon E7-4820 v3 (40 cores), 1,007 GB DDR4,
+    /// XFS on RAID-50 of 10 × 1 TB WD HDD; Table 5.
+    FatNode,
+}
+
+/// A concrete platform: compute-node resources plus the power model used
+/// for the Fig. 10d energy accounting.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    /// Which testbed.
+    pub kind: PlatformKind,
+    /// Display name.
+    pub name: String,
+    /// Base file-system label used in scenario names.
+    pub base_fs: String,
+    /// Compute-node CPU.
+    pub cpu: CpuProfile,
+    /// Compute-node DRAM in bytes.
+    pub memory_bytes: u64,
+    /// Chassis + DRAM + fans baseline power (watts) on the measured node,
+    /// excluding CPU and disks (those come from their own models).
+    pub base_power_w: f64,
+    /// Storage active/idle power (watts) of the measured node's disks.
+    pub storage_active_w: f64,
+    /// Storage idle power.
+    pub storage_idle_w: f64,
+    /// Render working-set fraction (see [`RENDER_OVERHEAD_FRACTION`]);
+    /// a field so the ablation suite can sweep it.
+    pub render_overhead_fraction: f64,
+}
+
+/// Bytes in one decimal gigabyte.
+pub const GB: u64 = 1_000_000_000;
+
+impl Platform {
+    /// The §4.1 SSD server.
+    pub fn ssd_server() -> Platform {
+        Platform {
+            kind: PlatformKind::SsdServer,
+            name: "SSD server (ext4, 2x NVMe, 16 GB)".into(),
+            base_fs: "ext4".into(),
+            cpu: CpuProfile::xeon_e5_2603_v4(),
+            memory_bytes: 16 * GB,
+            base_power_w: 60.0,
+            storage_active_w: 12.0, // two NVMe drives
+            storage_idle_w: 1.0,
+            render_overhead_fraction: RENDER_OVERHEAD_FRACTION,
+        }
+    }
+
+    /// The §4.2 nine-node cluster (metrics are taken at one compute node;
+    /// Table 4's 400 W/node average drives cluster-level energy).
+    pub fn cluster9() -> Platform {
+        Platform {
+            kind: PlatformKind::Cluster9,
+            name: "9-node OrangeFS cluster (3 compute + 3 HDD + 3 SSD)".into(),
+            base_fs: "PVFS".into(),
+            cpu: CpuProfile::xeon_e5_2603_v4(),
+            memory_bytes: 16 * GB,
+            base_power_w: 60.0,
+            storage_active_w: 6.8 * 6.0, // six storage-node HDD pairs, amortized
+            storage_idle_w: 3.7 * 6.0,
+            render_overhead_fraction: RENDER_OVERHEAD_FRACTION,
+        }
+    }
+
+    /// The §4.3 fat node.
+    pub fn fatnode() -> Platform {
+        Platform {
+            kind: PlatformKind::FatNode,
+            name: "fat node (XFS on RAID-50, 1,007 GB)".into(),
+            base_fs: "XFS".into(),
+            cpu: CpuProfile::xeon_e7_4820_v3_quad(),
+            memory_bytes: 1007 * GB,
+            base_power_w: 100.0, // chassis + 1 TB DDR4
+            storage_active_w: 68.0, // 10 HDDs active
+            storage_idle_w: 37.0,
+            render_overhead_fraction: RENDER_OVERHEAD_FRACTION,
+        }
+    }
+
+    /// Table 4's published per-node average power (used for whole-cluster
+    /// energy estimates).
+    pub const CLUSTER_NODE_AVG_POWER_W: f64 = 400.0;
+
+    /// Number of cluster nodes (Table 4).
+    pub const CLUSTER_NODES: usize = 9;
+}
+
+/// The render-time working set as a fraction of resident frame data.
+///
+/// Calibrated against the paper's own OOM boundaries: XFS/ADA(all) die at
+/// 1,876,800 frames (979.8 GB raw) but XFS survives 1,564,000 (816.5 GB),
+/// and ADA(protein) survives 4,379,200 (970.2 GB) but dies at 5,004,800
+/// (1,108.8 GB) on the 1,007 GB node — which brackets the factor into
+/// (1,007/979.8 − 1, 1,007/970.2 − 1) ≈ (2.8 %, 3.8 %).
+pub const RENDER_OVERHEAD_FRACTION: f64 = 0.032;
+
+/// Streaming read buffer for compressed input (C scenarios decompress
+/// frame-by-frame; the whole .xtc is never resident).
+pub const STREAM_BUFFER_BYTES: u64 = 256 * 1_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_parameters_match_tables() {
+        let ssd = Platform::ssd_server();
+        assert_eq!(ssd.memory_bytes, 16 * GB);
+        assert_eq!(ssd.cpu.cores, 6);
+        let fat = Platform::fatnode();
+        assert_eq!(fat.memory_bytes, 1007 * GB);
+        assert_eq!(fat.cpu.cores, 40);
+        let cl = Platform::cluster9();
+        assert_eq!(cl.cpu.name, CpuProfile::xeon_e5_2603_v4().name);
+    }
+
+    #[test]
+    fn render_overhead_brackets_paper_kill_points() {
+        // 1,007 GB capacity: must kill at 979.8 GB raw but not at 970.2 GB.
+        let cap = 1007.0;
+        assert!(979.8 * (1.0 + RENDER_OVERHEAD_FRACTION) > cap);
+        assert!(970.2 * (1.0 + RENDER_OVERHEAD_FRACTION) < cap);
+        assert!(816.5 * (1.0 + RENDER_OVERHEAD_FRACTION) < cap);
+        assert!(1108.8 > cap); // protein at 5,004,800 dies outright
+    }
+}

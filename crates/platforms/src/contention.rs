@@ -1,0 +1,102 @@
+//! Multi-client contention — scaling the §4.2 cluster beyond one reader.
+//!
+//! The paper measures a single VMD client. A visualization cluster serves
+//! many: every concurrent client shares the storage nodes' bandwidth,
+//! while CPU phases run on the client's own compute node (of which the
+//! cluster has three). This experiment scales the scenario model to `K`
+//! clients under fair sharing:
+//!
+//! * storage/retrieval time per client × `K` (shared backends),
+//! * CPU phases × `ceil(K / compute_nodes)` (time-sliced compute nodes).
+//!
+//! ADA's advantage *grows* with K: it ships 2.4× less data through the
+//! shared storage, so the contended component stays small.
+
+use crate::config::Platform;
+use crate::runner::{run_scenario, RunMetrics};
+use crate::scenario::Scenario;
+use ada_storagesim::SimDuration;
+
+/// Per-client turnaround of one scenario under `clients` concurrent
+/// readers.
+#[derive(Debug, Clone)]
+pub struct ContendedRun {
+    /// Scenario label.
+    pub label: String,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Per-client turnaround, seconds.
+    pub turnaround_s: f64,
+}
+
+fn scale(d: SimDuration, k: f64) -> f64 {
+    d.as_secs_f64() * k
+}
+
+/// Scale a single-client run to `clients` concurrent readers.
+pub fn contended_turnaround(m: &RunMetrics, clients: usize, compute_nodes: usize) -> f64 {
+    let storage_k = clients as f64;
+    let cpu_k = clients.div_ceil(compute_nodes) as f64;
+    scale(m.retrieval + m.indexer, storage_k)
+        + scale(m.decompress + m.scan + m.render, cpu_k)
+}
+
+/// Run the four cluster scenarios at `frames` for each client count.
+pub fn cluster_contention(frames: u64, client_counts: &[usize]) -> Vec<ContendedRun> {
+    let platform = Platform::cluster9();
+    let compute_nodes = 3usize;
+    let mut out = Vec::new();
+    for &scenario in &Scenario::ALL {
+        let m = run_scenario(&platform, scenario, frames);
+        for &clients in client_counts {
+            out.push(ContendedRun {
+                label: m.label.clone(),
+                clients,
+                turnaround_s: contended_turnaround(&m, clients, compute_nodes),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lookup<'a>(runs: &'a [ContendedRun], label: &str, clients: usize) -> &'a ContendedRun {
+        runs.iter()
+            .find(|r| r.label == label && r.clients == clients)
+            .unwrap()
+    }
+
+    #[test]
+    fn ada_advantage_grows_with_clients() {
+        let runs = cluster_contention(5006, &[1, 3, 9]);
+        let gap = |clients: usize| -> f64 {
+            lookup(&runs, "D-PVFS", clients).turnaround_s
+                / lookup(&runs, "D-ADA (protein)", clients).turnaround_s
+        };
+        assert!(gap(9) > gap(1), "gap@9 {} vs gap@1 {}", gap(9), gap(1));
+    }
+
+    #[test]
+    fn turnaround_monotone_in_clients() {
+        let runs = cluster_contention(3129, &[1, 2, 4, 8]);
+        for label in ["C-PVFS", "D-PVFS", "D-ADA (all)", "D-ADA (protein)"] {
+            let mut prev = 0.0;
+            for &c in &[1usize, 2, 4, 8] {
+                let t = lookup(&runs, label, c).turnaround_s;
+                assert!(t >= prev, "{} at {} clients regressed", label, c);
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn single_client_matches_runner() {
+        let platform = Platform::cluster9();
+        let m = run_scenario(&platform, Scenario::AdaProtein, 5006);
+        let contended = contended_turnaround(&m, 1, 3);
+        assert!((contended - m.turnaround().as_secs_f64()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,338 @@
+//! One generator per table and figure of the paper's evaluation.
+//!
+//! Each `figN` function runs the scenario grid and returns a
+//! [`FigureSeries`]; the tables return row vectors carrying both the
+//! model's value and the paper's published value so the repro binary can
+//! print paper-vs-measured side by side (EXPERIMENTS.md is generated from
+//! the same data).
+
+use crate::config::Platform;
+use crate::runner::{run_scenario, RunMetrics};
+use crate::scenario::Scenario;
+use ada_workload::calibration::{DatasetSpec, SizeRow, Table1Row, MB, PAPER_TABLE1, PAPER_TABLE2, PAPER_TABLE6};
+
+/// One data point of a figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Frame count (x axis).
+    pub frames: u64,
+    /// Metric value (y axis), in the figure's unit.
+    pub value: f64,
+    /// Whether this run was OOM-killed (the paper marks these runs).
+    pub killed: bool,
+}
+
+/// A figure: one or more labelled series over frame counts.
+#[derive(Debug, Clone)]
+pub struct FigureSeries {
+    /// Figure id, e.g. "Fig. 7b".
+    pub id: String,
+    /// What is measured.
+    pub title: String,
+    /// Y-axis unit.
+    pub unit: String,
+    /// (scenario label, points).
+    pub series: Vec<(String, Vec<Point>)>,
+}
+
+impl FigureSeries {
+    /// Value of `label` at `frames` (None if killed or absent).
+    pub fn value(&self, label: &str, frames: u64) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|(l, _)| l == label)?
+            .1
+            .iter()
+            .find(|p| p.frames == frames && !p.killed)
+            .map(|p| p.value)
+    }
+}
+
+/// Frame counts of the SSD-server experiments (Table 2).
+pub fn fig7_frames() -> Vec<u64> {
+    PAPER_TABLE2.iter().map(|r| r.frames).collect()
+}
+
+/// Frame counts of the cluster experiments (§4.2 runs to 6,256).
+pub fn fig9_frames() -> Vec<u64> {
+    vec![626, 1251, 1877, 2503, 3129, 3754, 4380, 5006, 6256]
+}
+
+/// Frame counts of the fat-node experiments (Table 6).
+pub fn fig10_frames() -> Vec<u64> {
+    PAPER_TABLE6.iter().map(|r| r.frames).collect()
+}
+
+fn grid(platform: &Platform, scenarios: &[Scenario], frames: &[u64]) -> Vec<(String, Vec<RunMetrics>)> {
+    scenarios
+        .iter()
+        .map(|&s| {
+            let runs: Vec<RunMetrics> = frames
+                .iter()
+                .map(|&f| run_scenario(platform, s, f))
+                .collect();
+            (s.label(&platform.base_fs), runs)
+        })
+        .collect()
+}
+
+fn figure(
+    id: &str,
+    title: &str,
+    unit: &str,
+    grid: &[(String, Vec<RunMetrics>)],
+    metric: impl Fn(&RunMetrics) -> f64,
+) -> FigureSeries {
+    FigureSeries {
+        id: id.to_string(),
+        title: title.to_string(),
+        unit: unit.to_string(),
+        series: grid
+            .iter()
+            .map(|(label, runs)| {
+                (
+                    label.clone(),
+                    runs.iter()
+                        .map(|m| Point {
+                            frames: m.frames,
+                            value: metric(m),
+                            killed: m.killed.is_some(),
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Fig. 7 (a, b, c): SSD server.
+pub fn fig7() -> [FigureSeries; 3] {
+    let p = Platform::ssd_server();
+    let g = grid(&p, &Scenario::ALL, &fig7_frames());
+    [
+        figure("Fig. 7a", "SSD server: raw data retrieval time", "s", &g, |m| {
+            (m.retrieval + m.indexer).as_secs_f64()
+        }),
+        figure("Fig. 7b", "SSD server: data processing turnaround time", "s", &g, |m| {
+            m.turnaround().as_secs_f64()
+        }),
+        figure("Fig. 7c", "SSD server: memory usage", "MB", &g, |m| {
+            m.mem_peak_bytes as f64 / MB
+        }),
+    ]
+}
+
+/// One phase row of Fig. 8: (phase name, seconds, share of total).
+pub type PhaseRow = (String, f64, f64);
+
+/// Fig. 8: CPU burst breakdown of the traditional (C-ext4) run vs ADA.
+/// Returns `(phase, seconds, share)` rows per scenario.
+pub fn fig8() -> Vec<(String, Vec<PhaseRow>)> {
+    let p = Platform::ssd_server();
+    [Scenario::CTraditional, Scenario::AdaProtein]
+        .iter()
+        .map(|&s| {
+            let m = run_scenario(&p, s, 5006);
+            let phases = [
+                ("decompress", m.decompress.as_secs_f64()),
+                ("locate-active (scan)", m.scan.as_secs_f64()),
+                ("render", m.render.as_secs_f64()),
+            ];
+            let total: f64 = phases.iter().map(|(_, v)| v).sum();
+            (
+                m.label.clone(),
+                phases
+                    .iter()
+                    .map(|(n, v)| (n.to_string(), *v, if total > 0.0 { v / total } else { 0.0 }))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Fig. 9 (a, b, c): nine-node cluster.
+pub fn fig9() -> [FigureSeries; 3] {
+    let p = Platform::cluster9();
+    let g = grid(&p, &Scenario::ALL, &fig9_frames());
+    [
+        figure("Fig. 9a", "Cluster: raw data retrieval time", "s", &g, |m| {
+            (m.retrieval + m.indexer).as_secs_f64()
+        }),
+        figure("Fig. 9b", "Cluster: data processing turnaround time", "s", &g, |m| {
+            m.turnaround().as_secs_f64()
+        }),
+        figure("Fig. 9c", "Cluster: memory usage", "MB", &g, |m| {
+            m.mem_peak_bytes as f64 / MB
+        }),
+    ]
+}
+
+/// The three fat-node scenarios of Fig. 10.
+pub const FIG10_SCENARIOS: [Scenario; 3] =
+    [Scenario::CTraditional, Scenario::AdaAll, Scenario::AdaProtein];
+
+/// Fig. 10 (a, b, c, d): fat node.
+pub fn fig10() -> [FigureSeries; 4] {
+    let p = Platform::fatnode();
+    let g = grid(&p, &FIG10_SCENARIOS, &fig10_frames());
+    [
+        figure("Fig. 10a", "Fat node: raw data retrieval time", "s", &g, |m| {
+            (m.retrieval + m.indexer).as_secs_f64()
+        }),
+        figure("Fig. 10b", "Fat node: data processing turnaround time", "min", &g, |m| {
+            m.turnaround().as_secs_f64() / 60.0
+        }),
+        figure("Fig. 10c", "Fat node: memory usage", "GB", &g, |m| {
+            m.mem_peak_bytes as f64 / 1e9
+        }),
+        figure("Fig. 10d", "Fat node: energy consumption", "kJ", &g, |m| m.energy_kj),
+    ]
+}
+
+/// A Table 1 comparison row: paper vs model.
+#[derive(Debug, Clone)]
+pub struct Table1Cmp {
+    /// Published row.
+    pub paper: Table1Row,
+    /// Model compressed size (MB).
+    pub model_complete_mb: f64,
+    /// Model protein share of the compressed file (MB), assuming the
+    /// byte share tracks the atom share.
+    pub model_protein_mb: f64,
+}
+
+/// Table 1: data components of three .xtc files.
+pub fn table1() -> Vec<Table1Cmp> {
+    PAPER_TABLE1
+        .iter()
+        .map(|&paper| {
+            let d = DatasetSpec::paper(paper.frames);
+            let complete = d.compressed_bytes() as f64 / MB;
+            let frac = d.cal.protein_fraction();
+            Table1Cmp {
+                paper,
+                model_complete_mb: complete,
+                model_protein_mb: complete * frac,
+            }
+        })
+        .collect()
+}
+
+/// A Table 2/6 comparison row: paper vs model (MB).
+#[derive(Debug, Clone)]
+pub struct SizeCmp {
+    /// Published row.
+    pub paper: SizeRow,
+    /// Model compressed MB.
+    pub model_compressed_mb: f64,
+    /// Model decompressed-protein MB.
+    pub model_protein_mb: f64,
+    /// Model raw MB.
+    pub model_raw_mb: f64,
+}
+
+fn size_cmp(rows: &[SizeRow]) -> Vec<SizeCmp> {
+    rows.iter()
+        .map(|&paper| {
+            let d = DatasetSpec::paper(paper.frames);
+            SizeCmp {
+                paper,
+                model_compressed_mb: d.compressed_bytes() as f64 / MB,
+                model_protein_mb: d.protein_bytes() as f64 / MB,
+                model_raw_mb: d.raw_bytes() as f64 / MB,
+            }
+        })
+        .collect()
+}
+
+/// Table 2: ext4 vs ADA data sizes (SSD server).
+pub fn table2() -> Vec<SizeCmp> {
+    size_cmp(&PAPER_TABLE2)
+}
+
+/// Table 6: XFS vs ADA data sizes (fat node).
+pub fn table6() -> Vec<SizeCmp> {
+    size_cmp(&PAPER_TABLE6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_series_complete() {
+        let [a, b, c] = fig7();
+        for f in [&a, &b, &c] {
+            assert_eq!(f.series.len(), 4);
+            for (_, pts) in &f.series {
+                assert_eq!(pts.len(), 8);
+            }
+        }
+        // Headline: turnaround speedup at 5,006 frames.
+        let c_t = b.value("C-ext4", 5006).unwrap();
+        let p_t = b.value("D-ADA (protein)", 5006).unwrap();
+        assert!(c_t / p_t > 11.0, "speedup {}", c_t / p_t);
+        // Memory: ext4 ≥ 2x ADA(protein).
+        let mem_c = c.value("C-ext4", 5006).unwrap();
+        let mem_p = c.value("D-ADA (protein)", 5006).unwrap();
+        assert!(mem_c / mem_p > 2.0);
+        drop(a);
+    }
+
+    #[test]
+    fn fig8_decompress_over_half() {
+        let rows = fig8();
+        let (label, phases) = &rows[0];
+        assert_eq!(label, "C-ext4");
+        let decompress_share = phases
+            .iter()
+            .find(|(n, _, _)| n == "decompress")
+            .map(|(_, _, s)| *s)
+            .unwrap();
+        assert!(decompress_share > 0.5, "share {}", decompress_share);
+        // ADA(protein) spends nothing on decompression.
+        let (_, ada_phases) = &rows[1];
+        let ada_dec = ada_phases
+            .iter()
+            .find(|(n, _, _)| n == "decompress")
+            .map(|(_, v, _)| *v)
+            .unwrap();
+        assert_eq!(ada_dec, 0.0);
+    }
+
+    #[test]
+    fn fig10_kills_visible_in_series() {
+        let [_a, b, c, _d] = fig10();
+        // XFS has killed points from 1,876,800 on.
+        let xfs = &b.series.iter().find(|(l, _)| l == "XFS").unwrap().1;
+        let killed_from: Vec<bool> = xfs.iter().map(|p| p.killed).collect();
+        let idx_1876800 = fig10_frames().iter().position(|&f| f == 1_876_800).unwrap();
+        assert!(!killed_from[idx_1876800 - 1]);
+        assert!(killed_from[idx_1876800]);
+        // ADA(protein) survives past 2x the XFS kill point.
+        let prot = &c.series.iter().find(|(l, _)| l == "ADA (protein)").unwrap().1;
+        let idx_4379200 = fig10_frames().iter().position(|&f| f == 4_379_200).unwrap();
+        assert!(!prot[idx_4379200].killed);
+        assert!(prot[idx_4379200 + 1].killed);
+    }
+
+    #[test]
+    fn tables_within_tolerance_of_paper() {
+        for row in table2() {
+            assert!((row.model_raw_mb - row.paper.raw_mb).abs() / row.paper.raw_mb < 0.03);
+            assert!(
+                (row.model_protein_mb - row.paper.ada_protein_mb).abs() / row.paper.ada_protein_mb
+                    < 0.03
+            );
+        }
+        for row in table6() {
+            assert!((row.model_raw_mb - row.paper.raw_mb).abs() / row.paper.raw_mb < 0.03);
+        }
+        for row in table1() {
+            assert!(
+                (row.model_complete_mb - row.paper.complete_mb).abs() / row.paper.complete_mb
+                    < 0.03
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # ada-platforms — the paper's three testbeds and every experiment
+//!
+//! §4 evaluates ADA on (1) an NVMe **SSD server**, (2) a **nine-node
+//! OrangeFS cluster** (3 compute + 3 HDD-storage + 3 SSD-storage nodes) and
+//! (3) a **1 TB fat-node server** with a RAID-50 HDD array. This crate
+//! assembles those platforms from the simulator substrate and provides:
+//!
+//! * [`config`] — platform definitions with the published hardware
+//!   (Tables 4 and 5) plus the calibrated power model;
+//! * [`scenario`] — the Table 3 notation (`C`/`D` × `ext4`/`PVFS`/`XFS` ×
+//!   `ADA (all)` / `ADA (protein)`) as a type;
+//! * [`runner`] — executes one scenario at one frame count end-to-end
+//!   through the real middleware stack (simfs → plfs → ada-core) with
+//!   synthetic volumes, producing retrieval / turnaround / memory / energy
+//!   metrics and OOM kills;
+//! * [`figures`] — one generator per table and figure of the paper,
+//!   returning printable rows (used by the `repro` binary and asserted by
+//!   the shape tests).
+
+pub mod ablations;
+pub mod amortization;
+pub mod contention;
+pub mod playback;
+pub mod config;
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use config::{Platform, PlatformKind};
+pub use runner::{run_scenario, KillPoint, RunMetrics};
+pub use scenario::Scenario;

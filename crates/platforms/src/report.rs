@@ -1,0 +1,111 @@
+//! Plain-text table/series rendering for the repro binary.
+
+/// Render an ASCII table with a header row.
+pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let sep: String = {
+        let mut s = String::from("+");
+        for w in &widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s
+    };
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {:<width$} |", h, width = w));
+    }
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push('|');
+        for (i, w) in widths.iter().enumerate() {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            out.push_str(&format!(" {:>width$} |", cell, width = w));
+        }
+        out.push('\n');
+    }
+    out.push_str(&sep);
+    out.push('\n');
+    out
+}
+
+/// Format seconds compactly (ms / s / min).
+pub fn fmt_secs(s: f64) -> String {
+    if s < 0.0005 {
+        format!("{:.1} µs", s * 1e6)
+    } else if s < 0.5 {
+        format!("{:.1} ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{:.2} s", s)
+    } else if s < 7200.0 {
+        format!("{:.1} min", s / 60.0)
+    } else {
+        format!("{:.2} h", s / 3600.0)
+    }
+}
+
+/// Format bytes compactly (MB/GB decimal, as in the paper's tables).
+pub fn fmt_bytes(b: u64) -> String {
+    let b = b as f64;
+    if b < 1e6 {
+        format!("{:.1} kB", b / 1e3)
+    } else if b < 1e9 {
+        format!("{:.1} MB", b / 1e6)
+    } else {
+        format!("{:.1} GB", b / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = format_table(
+            "Demo",
+            &["a", "long-header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        assert!(t.contains("Demo"));
+        assert!(t.contains("| a   | long-header |"));
+        let lines: Vec<&str> = t.lines().collect();
+        // All body lines have the same width.
+        let w = lines[1].len();
+        for l in &lines[1..] {
+            assert_eq!(l.len(), w, "line '{}'", l);
+        }
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert!(fmt_secs(0.0000001).contains("µs"));
+        assert!(fmt_secs(0.01).contains("ms"));
+        assert!(fmt_secs(3.0).contains(" s"));
+        assert!(fmt_secs(600.0).contains("min"));
+        assert!(fmt_secs(10_000.0).contains(" h"));
+    }
+
+    #[test]
+    fn fmt_bytes_ranges() {
+        assert_eq!(fmt_bytes(1_500), "1.5 kB");
+        assert_eq!(fmt_bytes(100_000_000), "100.0 MB");
+        assert_eq!(fmt_bytes(2_612_800_000_000), "2612.8 GB");
+    }
+}

@@ -1,0 +1,129 @@
+//! Model-based property testing of the PLFS container layer: a random
+//! sequence of tagged appends across random backends must reassemble — per
+//! tag and in total — exactly like a naive in-memory model, regardless of
+//! backend routing, dropping sizes, or index persistence round-trips.
+
+use ada_plfs::ContainerSet;
+use ada_simfs::{Content, LocalFs, SimFileSystem};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn make_set(nbackends: usize) -> (ContainerSet, Vec<String>) {
+    let backends: Vec<(String, Arc<dyn SimFileSystem>)> = (0..nbackends)
+        .map(|i| {
+            let fs: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_nvme());
+            (format!("mnt{}", i), fs)
+        })
+        .collect();
+    let names = backends.iter().map(|(n, _)| n.clone()).collect();
+    (ContainerSet::new(backends), names)
+}
+
+#[derive(Debug, Clone)]
+struct Op {
+    tag: usize,
+    backend: usize,
+    payload: Vec<u8>,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0usize..4, 0usize..3, prop::collection::vec(any::<u8>(), 0..200)),
+        1..40,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(tag, backend, payload)| Op {
+                tag,
+                backend,
+                payload,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn appends_reassemble_like_the_model(ops in arb_ops(), persist in any::<bool>()) {
+        let (cs, backends) = make_set(3);
+        cs.create_logical("bar").unwrap();
+
+        let mut model_total: Vec<u8> = Vec::new();
+        let mut model_by_tag: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            let tag = format!("t{}", op.tag);
+            let backend = &backends[op.backend];
+            cs.append_tagged("bar", &tag, backend, Content::real(op.payload.clone()))
+                .unwrap();
+            model_total.extend_from_slice(&op.payload);
+            model_by_tag.entry(tag).or_default().extend_from_slice(&op.payload);
+        }
+
+        if persist {
+            cs.persist_index("bar").unwrap();
+            cs.load_index("bar").unwrap();
+        }
+
+        // Whole-file read matches the model.
+        let (all, _) = cs.read_all("bar").unwrap();
+        prop_assert_eq!(all.as_real().unwrap().as_ref(), &model_total[..]);
+        prop_assert_eq!(cs.logical_len("bar").unwrap(), model_total.len() as u64);
+
+        // Every tag's filtered read matches.
+        for (tag, expect) in &model_by_tag {
+            let (got, _) = cs.read_tagged("bar", tag).unwrap();
+            prop_assert_eq!(got.as_real().unwrap().as_ref(), &expect[..]);
+        }
+
+        // Placement accounting matches.
+        let by_backend = cs.bytes_by_backend("bar").unwrap();
+        let mut model_backend: BTreeMap<String, u64> = BTreeMap::new();
+        for op in &ops {
+            *model_backend.entry(backends[op.backend].clone()).or_insert(0) +=
+                op.payload.len() as u64;
+        }
+        for (b, bytes) in &by_backend {
+            prop_assert_eq!(*bytes, model_backend.get(b).copied().unwrap_or(0));
+        }
+
+        // Index invariant: records tile [0, logical_len) without overlap.
+        let mut records = cs.index("bar").unwrap();
+        records.sort_by_key(|r| r.logical_offset);
+        let mut cursor = 0u64;
+        for r in &records {
+            prop_assert_eq!(r.logical_offset, cursor);
+            cursor += r.len;
+        }
+        prop_assert_eq!(cursor, model_total.len() as u64);
+    }
+
+    #[test]
+    fn tag_reads_are_order_stable(ops in arb_ops()) {
+        // Reading tags repeatedly (any order) never changes results.
+        let (cs, backends) = make_set(3);
+        cs.create_logical("bar").unwrap();
+        for op in &ops {
+            cs.append_tagged(
+                "bar",
+                &format!("t{}", op.tag),
+                &backends[op.backend],
+                Content::real(op.payload.clone()),
+            )
+            .unwrap();
+        }
+        let tags = cs.tags("bar").unwrap();
+        let first: Vec<Vec<u8>> = tags
+            .iter()
+            .map(|t| cs.read_tagged("bar", t).unwrap().0.as_real().unwrap().to_vec())
+            .collect();
+        for _ in 0..3 {
+            for (t, expect) in tags.iter().zip(&first) {
+                let (got, _) = cs.read_tagged("bar", t).unwrap();
+                prop_assert_eq!(got.as_real().unwrap().as_ref(), &expect[..]);
+            }
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! PVFS/OrangeFS-like striped parallel file system.
+//!
+//! Files are striped round-robin across storage servers; a client read
+//! fetches all stripes in parallel and streams them over the network, so
+//! the cost of an N-server read is
+//! `max(per-server disk time) max (network transfer of the whole file)`.
+//! This matches the §4.2 cluster: one PVFS instance over three HDD nodes
+//! and one over three SSD nodes, joined by InfiniBand.
+
+use crate::trace::{OpKind, TraceEvent, TraceLog};
+use crate::{Content, FileStat, FsError, SimFileSystem, TimedRead};
+use ada_storagesim::{Device, DeviceProfile, Link, SimDuration};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Striped-FS configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StripedFsParams {
+    /// Stripe unit in bytes (PVFS default 64 KiB).
+    pub stripe_size: u64,
+    /// Client-side metadata/request overhead per operation, seconds.
+    pub op_overhead_s: f64,
+    /// Per-storage-server network egress bandwidth in bytes/second
+    /// (`None` = unlimited; a server then serves at raw disk speed).
+    pub server_egress_bw: Option<f64>,
+}
+
+impl Default for StripedFsParams {
+    fn default() -> StripedFsParams {
+        StripedFsParams {
+            stripe_size: 64 * 1024,
+            op_overhead_s: 200.0e-6,
+            server_egress_bw: None,
+        }
+    }
+}
+
+struct Inner {
+    files: BTreeMap<String, Content>,
+    servers: Vec<Device>,
+    used: u64,
+}
+
+/// A striped parallel file system over `N` storage-server devices.
+pub struct StripedFs {
+    name: String,
+    params: StripedFsParams,
+    network: Link,
+    inner: Mutex<Inner>,
+    trace: Option<TraceLog>,
+}
+
+impl StripedFs {
+    /// New striped FS over per-server devices.
+    pub fn new(
+        name: impl Into<String>,
+        params: StripedFsParams,
+        network: Link,
+        servers: Vec<Device>,
+    ) -> StripedFs {
+        assert!(!servers.is_empty(), "need at least one storage server");
+        StripedFs {
+            name: name.into(),
+            params,
+            network,
+            inner: Mutex::new(Inner {
+                files: BTreeMap::new(),
+                servers,
+                used: 0,
+            }),
+            trace: None,
+        }
+    }
+
+    /// Attach an I/O trace log (builder style).
+    pub fn with_trace(mut self, log: TraceLog) -> StripedFs {
+        self.trace = Some(log);
+        self
+    }
+
+    fn record(&self, op: OpKind, path: &str, bytes: u64, duration: SimDuration) {
+        if let Some(t) = &self.trace {
+            t.record(TraceEvent {
+                fs: self.name.clone(),
+                op,
+                path: path.to_string(),
+                bytes,
+                duration,
+            });
+        }
+    }
+
+    /// Cluster network calibration: each storage server ships over a
+    /// ~170 MB/s effective link (bonded-GigE-class), the client ingests
+    /// over 10 GbE. Table 4 does not specify the fabric; these values put
+    /// the §4.2 curves in the paper's relative order: HDD nodes stay
+    /// disk-bound (126 < 170 MB/s), SSD nodes are NIC-bound, and
+    /// D-ADA(protein) lands near C-PVFS as in Fig. 9a.
+    fn cluster_params() -> StripedFsParams {
+        StripedFsParams {
+            server_egress_bw: Some(170.0e6),
+            ..StripedFsParams::default()
+        }
+    }
+
+    /// The paper's HDD PVFS: 3 storage nodes × (2 × WD 1 TB HDD treated as
+    /// one 2 TB node volume at single-disk speed per node).
+    pub fn pvfs_hdd_3nodes() -> StripedFs {
+        let mut node = DeviceProfile::wd_hdd_1tb();
+        node.capacity *= 2;
+        StripedFs::new(
+            "pvfs-hdd",
+            Self::cluster_params(),
+            Link::tenge(),
+            (0..3).map(|_| Device::new(node.clone())).collect(),
+        )
+    }
+
+    /// The paper's SSD PVFS: 3 storage nodes × (2 × Plextor 256 GB).
+    pub fn pvfs_ssd_3nodes() -> StripedFs {
+        let mut node = DeviceProfile::plextor_ssd_256gb();
+        node.capacity *= 2;
+        StripedFs::new(
+            "pvfs-ssd",
+            Self::cluster_params(),
+            Link::tenge(),
+            (0..3).map(|_| Device::new(node.clone())).collect(),
+        )
+    }
+
+    /// Per-server byte share for a file of `len` (stripe-granular).
+    fn server_shares(&self, len: u64, nservers: usize) -> Vec<u64> {
+        let stripe = self.params.stripe_size;
+        let full_stripes = len / stripe;
+        let tail = len % stripe;
+        let mut shares = vec![(full_stripes / nservers as u64) * stripe; nservers];
+        let extra = full_stripes % nservers as u64;
+        for (i, share) in shares.iter_mut().enumerate() {
+            if (i as u64) < extra {
+                *share += stripe;
+            }
+        }
+        shares[(full_stripes % nservers as u64) as usize] += tail;
+        shares
+    }
+
+    fn io_time(&self, len: u64, write: bool) -> SimDuration {
+        let mut g = self.inner.lock();
+        let n = g.servers.len();
+        let shares = self.server_shares(len, n);
+        let mut disk = SimDuration::ZERO;
+        for (srv, &share) in g.servers.iter_mut().zip(&shares) {
+            if share > 0 || len == 0 {
+                let mut d = if write { srv.write(share) } else { srv.read(share) };
+                if let Some(egress) = self.params.server_egress_bw {
+                    // A server cannot ship data faster than its NIC.
+                    let net = SimDuration::from_secs_f64(share as f64 / egress);
+                    d = d.max(net);
+                }
+                disk = disk.max(d);
+            }
+        }
+        let net = self.network.transfer_time(len);
+        disk.max(net) + SimDuration::from_secs_f64(self.params.op_overhead_s)
+    }
+
+    /// Inspect server devices (energy accounting).
+    pub fn with_servers<T>(&self, f: impl FnOnce(&[Device]) -> T) -> T {
+        f(&self.inner.lock().servers)
+    }
+
+    /// Number of storage servers.
+    pub fn server_count(&self) -> usize {
+        self.inner.lock().servers.len()
+    }
+
+    fn capacity(&self) -> u64 {
+        let g = self.inner.lock();
+        g.servers.iter().map(|d| d.profile.capacity).sum()
+    }
+}
+
+impl SimFileSystem for StripedFs {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn create(&self, path: &str, content: Content) -> Result<SimDuration, FsError> {
+        {
+            let g = self.inner.lock();
+            if g.files.contains_key(path) {
+                return Err(FsError::AlreadyExists(path.to_string()));
+            }
+            let capacity: u64 = g.servers.iter().map(|d| d.profile.capacity).sum();
+            if g.used + content.len() > capacity {
+                return Err(FsError::NoSpace {
+                    requested: content.len(),
+                    free: capacity - g.used,
+                });
+            }
+        }
+        let d = self.io_time(content.len(), true);
+        let mut g = self.inner.lock();
+        g.used += content.len();
+        let len = content.len();
+        g.files.insert(path.to_string(), content);
+        drop(g);
+        self.record(OpKind::Create, path, len, d);
+        Ok(d)
+    }
+
+    fn append(&self, path: &str, content: Content) -> Result<SimDuration, FsError> {
+        {
+            let g = self.inner.lock();
+            if g.used + content.len() > self.capacity() {
+                return Err(FsError::NoSpace {
+                    requested: content.len(),
+                    free: self.capacity() - g.used,
+                });
+            }
+        }
+        let len = content.len();
+        let d = self.io_time(len, true);
+        let mut g = self.inner.lock();
+        g.used += len;
+        match g.files.get_mut(path) {
+            Some(existing) => {
+                let merged = existing.concat(&content);
+                *existing = merged;
+            }
+            None => {
+                g.files.insert(path.to_string(), content);
+            }
+        }
+        drop(g);
+        self.record(OpKind::Append, path, len, d);
+        Ok(d)
+    }
+
+    fn read(&self, path: &str) -> Result<TimedRead, FsError> {
+        let content = {
+            let g = self.inner.lock();
+            g.files
+                .get(path)
+                .cloned()
+                .ok_or_else(|| FsError::NotFound(path.to_string()))?
+        };
+        let d = self.io_time(content.len(), false);
+        self.record(OpKind::Read, path, content.len(), d);
+        Ok((content, d))
+    }
+
+    fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<TimedRead, FsError> {
+        let content = {
+            let g = self.inner.lock();
+            g.files
+                .get(path)
+                .ok_or_else(|| FsError::NotFound(path.to_string()))?
+                .slice(offset, len)?
+        };
+        let d = self.io_time(len, false);
+        self.record(OpKind::ReadRange, path, len, d);
+        Ok((content, d))
+    }
+
+    fn delete(&self, path: &str) -> Result<(), FsError> {
+        let mut g = self.inner.lock();
+        match g.files.remove(path) {
+            Some(c) => {
+                g.used -= c.len();
+                Ok(())
+            }
+            None => Err(FsError::NotFound(path.to_string())),
+        }
+    }
+
+    fn stat(&self, path: &str) -> Result<FileStat, FsError> {
+        let g = self.inner.lock();
+        g.files
+            .get(path)
+            .map(|c| FileStat {
+                len: c.len(),
+                is_real: c.is_real(),
+            })
+            .ok_or_else(|| FsError::NotFound(path.to_string()))
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        let g = self.inner.lock();
+        g.files
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.inner.lock().used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_balance() {
+        let fs = StripedFs::pvfs_hdd_3nodes();
+        let len = 64 * 1024 * 10 + 100; // 10 stripes + tail
+        let shares = fs.server_shares(len, 3);
+        assert_eq!(shares.iter().sum::<u64>(), len);
+        let max = *shares.iter().max().unwrap();
+        let min = *shares.iter().min().unwrap();
+        assert!(max - min <= 64 * 1024 + 100);
+    }
+
+    #[test]
+    fn striped_read_faster_than_single_disk() {
+        let fs = StripedFs::pvfs_hdd_3nodes();
+        let bytes = 1_260_000_000u64; // 10 s on one HDD
+        fs.create("/f", Content::synthetic(bytes)).unwrap();
+        let (_, d) = fs.read("/f").unwrap();
+        // 3 servers: ~3.33 s instead of 10 s.
+        assert!(
+            (d.as_secs_f64() - 10.0 / 3.0).abs() < 0.2,
+            "t = {}",
+            d.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn ssd_pvfs_nic_bound() {
+        // 3 SSD nodes could read at 9 GB/s aggregate, but each server ships
+        // at 170 MB/s — the NIC is the bottleneck: ~510 MB/s aggregate.
+        let fs = StripedFs::pvfs_ssd_3nodes();
+        let bytes = 510_000_000u64;
+        fs.create("/f", Content::synthetic(bytes)).unwrap();
+        let (_, d) = fs.read("/f").unwrap();
+        assert!((d.as_secs_f64() - 1.0).abs() < 0.05, "t = {}", d.as_secs_f64());
+    }
+
+    #[test]
+    fn hdd_vs_ssd_pvfs_ratio() {
+        let hdd = StripedFs::pvfs_hdd_3nodes();
+        let ssd = StripedFs::pvfs_ssd_3nodes();
+        let bytes = 2_000_000_000u64;
+        hdd.create("/f", Content::synthetic(bytes)).unwrap();
+        ssd.create("/f", Content::synthetic(bytes)).unwrap();
+        let (_, th) = hdd.read("/f").unwrap();
+        let (_, ts) = ssd.read("/f").unwrap();
+        let ratio = th.as_secs_f64() / ts.as_secs_f64();
+        // HDD nodes disk-bound at 126 MB/s, SSD nodes NIC-bound at
+        // 170 MB/s: ratio ≈ 170/126 ≈ 1.35.
+        assert!(ratio > 1.2 && ratio < 1.6, "ratio {}", ratio);
+    }
+
+    #[test]
+    fn real_content_preserved_across_stripes() {
+        let fs = StripedFs::pvfs_ssd_3nodes();
+        let data: Vec<u8> = (0..200_000).map(|i| (i % 251) as u8).collect();
+        fs.create("/real", Content::real(data.clone())).unwrap();
+        let (c, _) = fs.read("/real").unwrap();
+        assert_eq!(c.as_real().unwrap().as_ref(), &data[..]);
+        let (r, _) = fs.read_range("/real", 100_000, 10).unwrap();
+        assert_eq!(r.as_real().unwrap().as_ref(), &data[100_000..100_010]);
+    }
+
+    #[test]
+    fn errors_match_local_fs_contract() {
+        let fs = StripedFs::pvfs_hdd_3nodes();
+        assert!(matches!(fs.read("/x"), Err(FsError::NotFound(_))));
+        fs.create("/x", Content::synthetic(1)).unwrap();
+        assert!(matches!(
+            fs.create("/x", Content::synthetic(1)),
+            Err(FsError::AlreadyExists(_))
+        ));
+        fs.delete("/x").unwrap();
+        assert!(fs.delete("/x").is_err());
+    }
+
+    #[test]
+    fn capacity_is_aggregate() {
+        let fs = StripedFs::pvfs_ssd_3nodes(); // 3 × 512 GB = 1.536 TB
+        assert!(fs.create("/a", Content::synthetic(1_500_000_000_000)).is_ok());
+        assert!(matches!(
+            fs.create("/b", Content::synthetic(100_000_000_000)),
+            Err(FsError::NoSpace { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_file_costs_latency_only() {
+        let fs = StripedFs::pvfs_hdd_3nodes();
+        fs.create("/e", Content::synthetic(0)).unwrap();
+        let (_, d) = fs.read("/e").unwrap();
+        assert!(d.as_secs_f64() < 0.02);
+    }
+}

@@ -1,0 +1,195 @@
+//! Throughput CPU model.
+//!
+//! The simulator charges CPU phases by calibrated throughputs rather than
+//! executing the real kernels at TB scale. The decompression rate is the
+//! load-bearing constant: the paper's own numbers (≈400 minutes to retrieve
+//! and render 1,564,000 frames ≈ 816 GB of raw data on the fat node, with
+//! retrieval under 10 % of it) put VMD's effective single-threaded
+//! xdr3dfcoord decompression near **30 MB/s of decompressed output** on
+//! these Xeons — decompression dominates, which is exactly Fig. 8's claim.
+//! `ada-bench` measures this repo's real codec throughput separately; the
+//! simulator intentionally uses the paper-calibrated figure so the
+//! reproduced curves match the published hardware.
+
+use crate::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// CPU parameters of a node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuProfile {
+    /// Marketing name.
+    pub name: String,
+    /// Physical cores.
+    pub cores: usize,
+    /// Base clock in GHz (reporting only).
+    pub clock_ghz: f64,
+    /// Single-thread XTC decompression rate, bytes of *output* per second.
+    pub decompress_output_bps: f64,
+    /// Single-thread scan/filter rate (bytes inspected per second).
+    pub scan_bps: f64,
+    /// Aggregate rendering rate (bytes of delivered frame data turned into
+    /// 3D geometry per second; VMD's rendering pipeline saturates well
+    /// below memory bandwidth).
+    pub render_bps: f64,
+    /// Single-thread categorizer rate for PDB analysis (bytes/second).
+    pub categorize_bps: f64,
+    /// Idle power of the whole node, watts.
+    pub idle_power_w: f64,
+    /// Additional power per busy core, watts.
+    pub core_active_w: f64,
+}
+
+impl CpuProfile {
+    /// Intel Xeon E5-2603 v4 @1.70 GHz (SSD server and cluster nodes,
+    /// Tables in §4.1/§4.2).
+    pub fn xeon_e5_2603_v4() -> CpuProfile {
+        CpuProfile {
+            name: "Intel Xeon E5-2603 v4 @1.70GHz".into(),
+            cores: 6,
+            clock_ghz: 1.7,
+            decompress_output_bps: 28.6e6,
+            scan_bps: 500.0e6,
+            render_bps: 150.0e6,
+            categorize_bps: 200.0e6,
+            idle_power_w: 80.0,
+            core_active_w: 12.0,
+        }
+    }
+
+    /// 4 × Intel Xeon E7-4820 v3 @1.90 GHz, 40 cores (fat node, Table 5).
+    pub fn xeon_e7_4820_v3_quad() -> CpuProfile {
+        CpuProfile {
+            name: "4x Intel Xeon E7-4820 v3 @1.90GHz".into(),
+            cores: 40,
+            clock_ghz: 1.9,
+            decompress_output_bps: 28.6e6,
+            scan_bps: 500.0e6,
+            render_bps: 150.0e6,
+            categorize_bps: 200.0e6,
+            idle_power_w: 250.0,
+            core_active_w: 6.0,
+        }
+    }
+
+    /// Power draw with `busy_cores` cores active.
+    pub fn power_w(&self, busy_cores: usize) -> f64 {
+        self.idle_power_w + self.core_active_w * busy_cores.min(self.cores) as f64
+    }
+}
+
+/// A unit of CPU work charged to the model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CpuWork {
+    /// XTC decompression producing `out_bytes` of raw data (single thread —
+    /// VMD's reader is sequential, and so is the format).
+    Decompress {
+        /// Decompressed output volume.
+        out_bytes: u64,
+    },
+    /// Linear scan / filtering over `bytes` (single thread).
+    Scan {
+        /// Bytes inspected.
+        bytes: u64,
+    },
+    /// Rendering `bytes` of delivered frame data into geometry
+    /// (node-aggregate rate; all cores considered busy for power).
+    Render {
+        /// Frame bytes rendered.
+        bytes: u64,
+    },
+    /// Categorizer pass over a structure file of `bytes` (single thread).
+    Categorize {
+        /// Structure-file bytes analyzed.
+        bytes: u64,
+    },
+}
+
+impl CpuWork {
+    /// Virtual time this work takes on `cpu`.
+    pub fn duration(&self, cpu: &CpuProfile) -> SimDuration {
+        let secs = match *self {
+            CpuWork::Decompress { out_bytes } => out_bytes as f64 / cpu.decompress_output_bps,
+            CpuWork::Scan { bytes } => bytes as f64 / cpu.scan_bps,
+            CpuWork::Render { bytes } => bytes as f64 / cpu.render_bps,
+            CpuWork::Categorize { bytes } => bytes as f64 / cpu.categorize_bps,
+        };
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Cores kept busy by this work (for power accounting).
+    pub fn busy_cores(&self, cpu: &CpuProfile) -> usize {
+        match self {
+            CpuWork::Decompress { .. } | CpuWork::Scan { .. } | CpuWork::Categorize { .. } => 1,
+            CpuWork::Render { .. } => cpu.cores,
+        }
+    }
+
+    /// Power drawn while this work runs.
+    pub fn power_w(&self, cpu: &CpuProfile) -> f64 {
+        cpu.power_w(self.busy_cores(cpu))
+    }
+
+    /// Energy in joules for this work on `cpu`.
+    pub fn energy_joules(&self, cpu: &CpuProfile) -> f64 {
+        self.duration(cpu).as_secs_f64() * self.power_w(cpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decompression_dominates_render() {
+        // The Fig. 8 structure: for the same delivered volume decompression
+        // takes ~5x the render time.
+        let cpu = CpuProfile::xeon_e5_2603_v4();
+        let d = CpuWork::Decompress { out_bytes: 1_000_000_000 }.duration(&cpu);
+        let r = CpuWork::Render { bytes: 1_000_000_000 }.duration(&cpu);
+        let ratio = d.as_secs_f64() / r.as_secs_f64();
+        assert!(ratio > 4.0 && ratio < 7.0, "ratio {}", ratio);
+    }
+
+    #[test]
+    fn fat_node_400_minute_anchor() {
+        // ~816.5 GB raw decompressed at the calibrated rate ≈ 7.9 h of CPU;
+        // the paper reports "around 400 minutes" for the full turnaround of
+        // 1,564,000 frames. Same order, decompression-dominated.
+        let cpu = CpuProfile::xeon_e7_4820_v3_quad();
+        let d = CpuWork::Decompress {
+            out_bytes: 816_500_000_000,
+        }
+        .duration(&cpu)
+        .as_secs_f64();
+        let minutes = d / 60.0;
+        assert!(minutes > 300.0 && minutes < 600.0, "{} min", minutes);
+    }
+
+    #[test]
+    fn power_model() {
+        let cpu = CpuProfile::xeon_e5_2603_v4();
+        assert_eq!(cpu.power_w(0), 80.0);
+        assert_eq!(cpu.power_w(1), 92.0);
+        assert_eq!(cpu.power_w(6), 152.0);
+        // Clamped at core count.
+        assert_eq!(cpu.power_w(100), 152.0);
+    }
+
+    #[test]
+    fn render_uses_all_cores_for_power() {
+        let cpu = CpuProfile::xeon_e7_4820_v3_quad();
+        let w = CpuWork::Render { bytes: 1 };
+        assert_eq!(w.busy_cores(&cpu), 40);
+        assert_eq!(w.power_w(&cpu), 250.0 + 240.0);
+        let d = CpuWork::Decompress { out_bytes: 1 };
+        assert_eq!(d.busy_cores(&cpu), 1);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let cpu = CpuProfile::xeon_e5_2603_v4();
+        let w = CpuWork::Scan { bytes: 500_000_000 }; // 1 s
+        let e = w.energy_joules(&cpu);
+        assert!((e - 92.0).abs() < 0.5, "energy {}", e);
+    }
+}

@@ -1,0 +1,193 @@
+//! Capacity-limited memory accounting with OOM kills.
+//!
+//! §4.3: "both XFS and ADA (all) are killed by the system due to memory
+//! shortage when VMD is trying to render 1,876,800 frames" — the tracker
+//! reproduces that behaviour: allocations are labelled, the peak is
+//! recorded, and exceeding capacity returns [`OomKilled`] (the simulated
+//! kernel OOM killer).
+
+use std::collections::BTreeMap;
+
+/// The simulated OOM killer fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OomKilled {
+    /// Allocation label that pushed usage over the limit.
+    pub label: String,
+    /// Bytes requested by the failing allocation.
+    pub requested: u64,
+    /// Usage at the time of the request.
+    pub in_use: u64,
+    /// Capacity of the node.
+    pub capacity: u64,
+}
+
+impl std::fmt::Display for OomKilled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "killed by OOM: '{}' requested {} B with {} B in use of {} B",
+            self.label, self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OomKilled {}
+
+/// Byte-granular memory tracker for one node.
+#[derive(Debug, Clone)]
+pub struct MemoryTracker {
+    capacity: u64,
+    in_use: u64,
+    peak: u64,
+    ledger: BTreeMap<String, u64>,
+}
+
+impl MemoryTracker {
+    /// Tracker for a node with `capacity` bytes of DRAM.
+    pub fn new(capacity: u64) -> MemoryTracker {
+        MemoryTracker {
+            capacity,
+            in_use: 0,
+            peak: 0,
+            ledger: BTreeMap::new(),
+        }
+    }
+
+    /// Node capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// High-water mark.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Allocate `bytes` under `label` (labels accumulate).
+    pub fn alloc(&mut self, label: &str, bytes: u64) -> Result<(), OomKilled> {
+        if self.in_use.saturating_add(bytes) > self.capacity {
+            return Err(OomKilled {
+                label: label.to_string(),
+                requested: bytes,
+                in_use: self.in_use,
+                capacity: self.capacity,
+            });
+        }
+        self.in_use += bytes;
+        self.peak = self.peak.max(self.in_use);
+        *self.ledger.entry(label.to_string()).or_insert(0) += bytes;
+        Ok(())
+    }
+
+    /// Free up to the allocated amount under `label`.
+    pub fn free(&mut self, label: &str, bytes: u64) {
+        let entry = self.ledger.entry(label.to_string()).or_insert(0);
+        let freed = bytes.min(*entry);
+        *entry -= freed;
+        if *entry == 0 {
+            self.ledger.remove(label);
+        }
+        self.in_use -= freed;
+    }
+
+    /// Free everything under `label`.
+    pub fn free_all(&mut self, label: &str) {
+        if let Some(bytes) = self.ledger.remove(label) {
+            self.in_use -= bytes;
+        }
+    }
+
+    /// Bytes currently held under `label`.
+    pub fn held(&self, label: &str) -> u64 {
+        self.ledger.get(label).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of the ledger (label → bytes).
+    pub fn ledger(&self) -> &BTreeMap<String, u64> {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_peak() {
+        let mut m = MemoryTracker::new(1000);
+        m.alloc("compressed", 300).unwrap();
+        m.alloc("raw", 500).unwrap();
+        assert_eq!(m.in_use(), 800);
+        m.free("compressed", 300);
+        assert_eq!(m.in_use(), 500);
+        assert_eq!(m.peak(), 800);
+        assert_eq!(m.held("raw"), 500);
+        assert_eq!(m.held("compressed"), 0);
+    }
+
+    #[test]
+    fn oom_kill_fires_at_capacity() {
+        let mut m = MemoryTracker::new(1000);
+        m.alloc("raw", 900).unwrap();
+        let err = m.alloc("frames", 200).unwrap_err();
+        assert_eq!(err.requested, 200);
+        assert_eq!(err.in_use, 900);
+        assert_eq!(err.capacity, 1000);
+        // Failed allocation does not change usage.
+        assert_eq!(m.in_use(), 900);
+    }
+
+    #[test]
+    fn exact_fit_allowed() {
+        let mut m = MemoryTracker::new(1000);
+        assert!(m.alloc("x", 1000).is_ok());
+        assert!(m.alloc("y", 1).is_err());
+    }
+
+    #[test]
+    fn over_free_is_clamped() {
+        let mut m = MemoryTracker::new(100);
+        m.alloc("a", 50).unwrap();
+        m.free("a", 80);
+        assert_eq!(m.in_use(), 0);
+        m.free("never-allocated", 10);
+        assert_eq!(m.in_use(), 0);
+    }
+
+    #[test]
+    fn labels_accumulate() {
+        let mut m = MemoryTracker::new(1000);
+        m.alloc("frames", 100).unwrap();
+        m.alloc("frames", 150).unwrap();
+        assert_eq!(m.held("frames"), 250);
+        m.free_all("frames");
+        assert_eq!(m.in_use(), 0);
+    }
+
+    #[test]
+    fn fat_node_kill_points() {
+        // The paper's 1,007 GB node: raw data of 1,876,800 frames (979.8 GB)
+        // plus a ~3.2% render working set must die; 4,379,200-frame protein
+        // subset (970.2 GB + 3.2%) must survive.
+        let gb = 1_000_000_000u64;
+        let mut m = MemoryTracker::new(1007 * gb);
+        let raw = (979.8 * gb as f64) as u64;
+        let overhead = (raw as f64 * 0.032) as u64;
+        m.alloc("frames", raw).unwrap();
+        assert!(m.alloc("render", overhead).is_err(), "XFS should be killed");
+
+        let mut m2 = MemoryTracker::new(1007 * gb);
+        let protein = (970.2 * gb as f64) as u64;
+        let overhead2 = (protein as f64 * 0.032) as u64;
+        m2.alloc("frames", protein).unwrap();
+        assert!(
+            m2.alloc("render", overhead2).is_ok(),
+            "ADA(protein) at 4,379,200 frames should survive"
+        );
+    }
+}

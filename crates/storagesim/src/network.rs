@@ -1,0 +1,98 @@
+//! Network links between nodes.
+//!
+//! The paper's cluster moves data over "a high-performance network
+//! architecture like InfiniBand" (§2.2). A link is latency + bandwidth;
+//! transfers cost `latency + bytes/bandwidth`.
+
+use crate::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point network link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Name for reports.
+    pub name: String,
+    /// One-way latency in seconds.
+    pub latency_s: f64,
+    /// Bandwidth in bytes/second.
+    pub bandwidth: f64,
+}
+
+impl Link {
+    /// InfiniBand FDR-class fabric (~56 Gb/s, ~1.5 µs).
+    pub fn infiniband() -> Link {
+        Link {
+            name: "InfiniBand FDR".into(),
+            latency_s: 1.5e-6,
+            bandwidth: 7.0e9,
+        }
+    }
+
+    /// Gigabit Ethernet.
+    pub fn gige() -> Link {
+        Link {
+            name: "1 GbE".into(),
+            latency_s: 50.0e-6,
+            bandwidth: 125.0e6,
+        }
+    }
+
+    /// 10-Gigabit Ethernet.
+    pub fn tenge() -> Link {
+        Link {
+            name: "10 GbE".into(),
+            latency_s: 10.0e-6,
+            bandwidth: 1.25e9,
+        }
+    }
+
+    /// A loop-back "link" for single-node platforms (no network cost).
+    pub fn local() -> Link {
+        Link {
+            name: "local".into(),
+            latency_s: 0.0,
+            bandwidth: f64::INFINITY,
+        }
+    }
+
+    /// Time to move `bytes` across the link.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        if self.bandwidth.is_infinite() {
+            return SimDuration::from_secs_f64(self.latency_s);
+        }
+        SimDuration::from_secs_f64(self.latency_s + bytes as f64 / self.bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infiniband_fast() {
+        let l = Link::infiniband();
+        // 7 GB over 7 GB/s ≈ 1 s.
+        let t = l.transfer_time(7_000_000_000).as_secs_f64();
+        assert!((t - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn local_link_is_free() {
+        let l = Link::local();
+        assert_eq!(l.transfer_time(u64::MAX), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn gige_much_slower_than_ib() {
+        let bytes = 1_000_000_000;
+        let ratio = Link::gige().transfer_time(bytes).as_secs_f64()
+            / Link::infiniband().transfer_time(bytes).as_secs_f64();
+        assert!(ratio > 40.0, "ratio {}", ratio);
+    }
+
+    #[test]
+    fn latency_only_for_zero_bytes() {
+        let l = Link::tenge();
+        assert!((l.transfer_time(0).as_secs_f64() - 10.0e-6).abs() < 1e-12);
+    }
+}

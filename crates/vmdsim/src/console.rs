@@ -1,0 +1,272 @@
+//! A VMD-like text console.
+//!
+//! The paper drives VMD through its command console:
+//!
+//! ```text
+//! $ mol new foo.pdb
+//! $ mol addfile /mnt/bar.xtc tag p
+//! ```
+//!
+//! [`VmdConsole`] interprets that command language over a
+//! [`VmdSession`], resolving file names against a registered file store
+//! (plain bytes) or an attached ADA instance (for `tag` loads).
+
+use crate::mol::{MolId, VmdSession};
+use crate::render::{DrawStyle, RenderOptions};
+use ada_core::{Ada, AdaError};
+use ada_mdmodel::Tag;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Console state: a session plus name→bytes file registry and an optional
+/// ADA mount.
+pub struct VmdConsole {
+    session: VmdSession,
+    files: BTreeMap<String, Vec<u8>>,
+    ada: Option<Arc<Ada>>,
+    top: Option<MolId>,
+}
+
+impl Default for VmdConsole {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VmdConsole {
+    /// Console with no files registered.
+    pub fn new() -> VmdConsole {
+        VmdConsole {
+            session: VmdSession::new(),
+            files: BTreeMap::new(),
+            ada: None,
+            top: None,
+        }
+    }
+
+    /// Register a file the console can `mol new` / `mol addfile`.
+    pub fn put_file(&mut self, name: &str, bytes: Vec<u8>) {
+        self.files.insert(name.to_string(), bytes);
+    }
+
+    /// Attach an ADA middleware; `mol addfile <dataset>.xtc tag <t>` will
+    /// query it.
+    pub fn mount_ada(&mut self, ada: Arc<Ada>) {
+        self.ada = Some(ada);
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> &VmdSession {
+        &self.session
+    }
+
+    /// The "top" (most recently created) molecule.
+    pub fn top(&self) -> Option<MolId> {
+        self.top
+    }
+
+    /// Execute one or more `;`/newline-separated commands; returns one
+    /// output line per command.
+    pub fn exec(&mut self, script: &str) -> Result<Vec<String>, AdaError> {
+        let mut out = Vec::new();
+        for raw in script.split([';', '\n']) {
+            let line = raw.trim().trim_start_matches('$').trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            out.push(self.exec_one(line)?);
+        }
+        Ok(out)
+    }
+
+    fn exec_one(&mut self, line: &str) -> Result<String, AdaError> {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words.as_slice() {
+            ["mol", "new", file] => {
+                let bytes = self.file(file)?;
+                let text = String::from_utf8(bytes)
+                    .map_err(|_| AdaError::Pdb(format!("{} is not text", file)))?;
+                let id = self.session.mol_new(&text)?;
+                self.top = Some(id);
+                Ok(format!(
+                    "mol {}: {} atoms from {}",
+                    id.0,
+                    self.session.molecule(id).system.len(),
+                    file
+                ))
+            }
+            ["mol", "addfile", file] => {
+                let id = self.require_top()?;
+                let bytes = self.file(file)?;
+                let n = self.session.mol_addfile_xtc(id, &bytes)?;
+                Ok(format!("mol {}: loaded {} frames from {}", id.0, n, file))
+            }
+            ["mol", "addfile", file, "tag", tag] => {
+                let id = self.require_top()?;
+                let ada = self
+                    .ada
+                    .clone()
+                    .ok_or_else(|| AdaError::Pdb("no ADA middleware mounted".into()))?;
+                let dataset = dataset_of(file);
+                let t = Tag::new(*tag);
+                let n = self
+                    .session
+                    .mol_addfile_ada(id, &ada, dataset, Some(&t))?;
+                Ok(format!(
+                    "mol {}: loaded {} frames (tag {}) from ADA:{}",
+                    id.0, n, tag, dataset
+                ))
+            }
+            ["mol", "addrep", style, selection @ ..] if !selection.is_empty() => {
+                let id = self.require_top()?;
+                let style = parse_style(style)?;
+                let rep = self
+                    .session
+                    .mol_addrep(id, &selection.join(" "), style)?;
+                Ok(format!("mol {}: rep {} added", id.0, rep))
+            }
+            ["mol", "showrep", rep, flag] => {
+                let id = self.require_top()?;
+                let rep: usize = rep
+                    .parse()
+                    .map_err(|_| AdaError::Pdb(format!("bad rep index '{}'", rep)))?;
+                let visible = matches!(*flag, "on" | "1" | "true");
+                self.session.mol_showrep(id, rep, visible);
+                Ok(format!("mol {}: rep {} {}", id.0, rep, if visible { "on" } else { "off" }))
+            }
+            ["animate"] => {
+                let id = self.require_top()?;
+                let stats = self.session.animate(id, &RenderOptions::default(), 4);
+                let px: usize = stats.iter().map(|s| s.pixels_filled).sum();
+                Ok(format!(
+                    "animated {} frames, {} px total",
+                    stats.len(),
+                    px
+                ))
+            }
+            _ => Err(AdaError::Pdb(format!("unknown command: '{}'", line))),
+        }
+    }
+
+    fn require_top(&self) -> Result<MolId, AdaError> {
+        self.top
+            .ok_or_else(|| AdaError::Pdb("no molecule loaded (run 'mol new' first)".into()))
+    }
+
+    fn file(&self, name: &str) -> Result<Vec<u8>, AdaError> {
+        self.files
+            .get(name)
+            .cloned()
+            .ok_or_else(|| AdaError::Pdb(format!("no such file '{}'", name)))
+    }
+}
+
+fn parse_style(s: &str) -> Result<DrawStyle, AdaError> {
+    match s.to_ascii_lowercase().as_str() {
+        "lines" => Ok(DrawStyle::Lines),
+        "points" => Ok(DrawStyle::Points),
+        "vdw" => Ok(DrawStyle::Vdw),
+        "licorice" => Ok(DrawStyle::Licorice),
+        other => Err(AdaError::Pdb(format!("unknown style '{}'", other))),
+    }
+}
+
+/// Dataset name for a path: the file stem ("/mnt/bar.xtc" → "bar").
+fn dataset_of(path: &str) -> &str {
+    let base = path.rsplit('/').next().unwrap_or(path);
+    base.strip_suffix(".xtc").unwrap_or(base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ada_core::{AdaConfig, IngestInput};
+    use ada_plfs::ContainerSet;
+    use ada_simfs::{LocalFs, SimFileSystem};
+
+    fn rig() -> (VmdConsole, ada_workload::Workload) {
+        let w = ada_workload::gpcr_workload(1200, 3, 404);
+        let pdb = ada_mdformats::write_pdb(&w.system).into_bytes();
+        let xtc =
+            ada_mdformats::xtc::write_xtc(&w.trajectory, ada_mdformats::xtc::DEFAULT_PRECISION)
+                .unwrap();
+
+        let ssd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_nvme());
+        let hdd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_hdd());
+        let cs = Arc::new(ContainerSet::new(vec![
+            ("ssd".into(), ssd.clone()),
+            ("hdd".into(), hdd),
+        ]));
+        let ada = Arc::new(Ada::new(
+            AdaConfig::paper_prototype("ssd", "hdd"),
+            cs,
+            ssd,
+        ));
+        ada.ingest(
+            "bar",
+            IngestInput::Real {
+                pdb_text: String::from_utf8(pdb.clone()).unwrap(),
+                xtc_bytes: xtc.clone(),
+            },
+        )
+        .unwrap();
+
+        let mut console = VmdConsole::new();
+        console.put_file("foo.pdb", pdb);
+        console.put_file("bar.xtc", xtc);
+        console.mount_ada(ada);
+        (console, w)
+    }
+
+    #[test]
+    fn paper_command_sequence() {
+        let (mut console, w) = rig();
+        // The exact §3.4 flow.
+        let out = console
+            .exec("$ mol new foo.pdb\n$ mol addfile /mnt/bar.xtc tag p")
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out[0].contains("atoms"));
+        assert!(out[1].contains("tag p"));
+        let id = console.top().unwrap();
+        let prot = w
+            .system
+            .category_ranges(ada_mdmodel::Category::Protein)
+            .count();
+        assert_eq!(console.session().molecule(id).system.len(), prot);
+    }
+
+    #[test]
+    fn traditional_sequence_with_reps_and_animate() {
+        let (mut console, _w) = rig();
+        let out = console
+            .exec(
+                "mol new foo.pdb; mol addfile bar.xtc; \
+                 mol addrep licorice protein; mol addrep points water; \
+                 mol showrep 1 off; animate",
+            )
+            .unwrap();
+        assert_eq!(out.len(), 6);
+        assert!(out[5].starts_with("animated 3 frames"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let (mut console, _) = rig();
+        assert!(console.exec("mol addfile bar.xtc").is_err()); // no mol new yet
+        assert!(console.exec("mol new nope.pdb").is_err());
+        console.exec("mol new foo.pdb").unwrap();
+        assert!(console.exec("mol addfile bar.xtc tag zzz").is_err());
+        assert!(console.exec("frobnicate").is_err());
+        assert!(console.exec("mol addrep cartoon protein").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let (mut console, _) = rig();
+        let out = console
+            .exec("# a comment\n\n  \nmol new foo.pdb\n")
+            .unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Phase-level CPU accounting — the Fig. 8 instrument.
+//!
+//! The paper profiles VMD's CPU bursts and visualizes them as a flame
+//! graph, concluding that "data decompression weights more than 50% of the
+//! CPU burst time". [`PhaseProfiler`] accumulates named phase durations and
+//! reports shares; the repro harness prints the same breakdown.
+
+use ada_storagesim::SimDuration;
+use std::collections::BTreeMap;
+
+/// Accumulates virtual time per named phase.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseProfiler {
+    phases: BTreeMap<String, SimDuration>,
+    order: Vec<String>,
+}
+
+impl PhaseProfiler {
+    /// Empty profiler.
+    pub fn new() -> PhaseProfiler {
+        PhaseProfiler::default()
+    }
+
+    /// Add `d` to `phase`.
+    pub fn record(&mut self, phase: &str, d: SimDuration) {
+        if !self.phases.contains_key(phase) {
+            self.order.push(phase.to_string());
+        }
+        *self
+            .phases
+            .entry(phase.to_string())
+            .or_insert(SimDuration::ZERO) += d;
+    }
+
+    /// Total time across phases.
+    pub fn total(&self) -> SimDuration {
+        self.phases.values().copied().sum()
+    }
+
+    /// Time of one phase.
+    pub fn of(&self, phase: &str) -> SimDuration {
+        self.phases.get(phase).copied().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Share of one phase in the total (0..=1; 0 when empty).
+    pub fn share(&self, phase: &str) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.of(phase).as_secs_f64() / total
+    }
+
+    /// `(phase, duration, share)` rows in first-recorded order — the
+    /// flame-graph data.
+    pub fn breakdown(&self) -> Vec<(String, SimDuration, f64)> {
+        self.order
+            .iter()
+            .map(|p| (p.clone(), self.of(p), self.share(p)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let mut p = PhaseProfiler::new();
+        p.record("decompress", SimDuration::from_secs_f64(6.0));
+        p.record("scan", SimDuration::from_secs_f64(1.0));
+        p.record("render", SimDuration::from_secs_f64(3.0));
+        p.record("decompress", SimDuration::from_secs_f64(2.0));
+        assert!((p.total().as_secs_f64() - 12.0).abs() < 1e-9);
+        assert!((p.share("decompress") - 8.0 / 12.0).abs() < 1e-9);
+        let sum: f64 = p.breakdown().iter().map(|(_, _, s)| s).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_preserved() {
+        let mut p = PhaseProfiler::new();
+        p.record("b", SimDuration::from_secs_f64(1.0));
+        p.record("a", SimDuration::from_secs_f64(1.0));
+        let names: Vec<_> = p.breakdown().into_iter().map(|(n, _, _)| n).collect();
+        assert_eq!(names, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn empty_profiler() {
+        let p = PhaseProfiler::new();
+        assert_eq!(p.total(), SimDuration::ZERO);
+        assert_eq!(p.share("x"), 0.0);
+        assert!(p.breakdown().is_empty());
+    }
+}

@@ -1,0 +1,528 @@
+//! Synthetic molecular system construction.
+
+use ada_mdmodel::{Atom, Element, MolecularSystem, PbcBox};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Composition of a synthetic system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSpec {
+    /// Number of protein residues (across the helix bundle).
+    pub protein_residues: usize,
+    /// Number of POPC lipids (split between two leaflets).
+    pub lipids: usize,
+    /// Number of water molecules.
+    pub waters: usize,
+    /// Number of Na+/Cl- ion pairs.
+    pub ion_pairs: usize,
+    /// Atoms of the bound ligand (0 = apo structure; the CB1 study is a
+    /// receptor–ligand system, so the default composition includes one).
+    pub ligand_atoms: usize,
+    /// Rectangular box edge lengths (nm).
+    pub box_nm: [f32; 3],
+}
+
+/// Average atoms per protein residue produced by the builder (backbone 4 +
+/// mean sidechain ≈ 4).
+pub const ATOMS_PER_RESIDUE: f64 = 7.96;
+/// Atoms per simplified POPC lipid.
+pub const ATOMS_PER_LIPID: usize = 52;
+/// Atoms per water molecule.
+pub const ATOMS_PER_WATER: usize = 3;
+
+impl SystemSpec {
+    /// A GPCR-membrane-like composition totalling roughly `natoms` atoms
+    /// with the paper's ~42.5 % protein / ~57.5 % MISC split (Table 2:
+    /// protein is 139/327 of the raw volume).
+    ///
+    /// MISC is split ~45 % lipid / ~53 % water / ~2 % ions, typical of a
+    /// membrane-protein box.
+    pub fn gpcr_like(natoms: usize) -> SystemSpec {
+        let natoms = natoms.max(200) as f64;
+        let protein_atoms = natoms * 0.425;
+        let lipid_atoms = natoms * 0.26;
+        let water_atoms = natoms * 0.30;
+        let ion_atoms = natoms * 0.015;
+        let protein_residues = (protein_atoms / ATOMS_PER_RESIDUE).round().max(7.0) as usize;
+        let lipids = (lipid_atoms / ATOMS_PER_LIPID as f64).round().max(2.0) as usize;
+        let waters = (water_atoms / ATOMS_PER_WATER as f64).round().max(1.0) as usize;
+        let ion_pairs = (ion_atoms / 2.0).round().max(1.0) as usize;
+        // Box sized for liquid-like density: ~100 atoms/nm³ overall.
+        let volume = natoms / 95.0;
+        let lx = volume.cbrt() as f32;
+        SystemSpec {
+            protein_residues,
+            lipids,
+            waters,
+            ion_pairs,
+            ligand_atoms: 26, // a THC-sized ligand in the binding pocket
+            box_nm: [lx, lx, lx * 1.25],
+        }
+    }
+
+    /// Total atom count this spec will produce (exact).
+    pub fn total_atoms(&self) -> usize {
+        residue_atom_total(self.protein_residues)
+            + self.lipids * ATOMS_PER_LIPID
+            + self.waters * ATOMS_PER_WATER
+            + self.ion_pairs * 2
+            + self.ligand_atoms
+    }
+}
+
+/// Builder that realizes a [`SystemSpec`] into coordinates and topology.
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    spec: SystemSpec,
+}
+
+/// The 20 standard residues with the sidechain pseudo-atom counts the
+/// builder uses (name, sidechain atoms). Backbone adds N, CA, C, O.
+const RESIDUE_MENU: [(&str, usize); 20] = [
+    ("ALA", 1),
+    ("ARG", 7),
+    ("ASN", 4),
+    ("ASP", 4),
+    ("CYS", 2),
+    ("GLN", 5),
+    ("GLU", 5),
+    ("GLY", 0),
+    ("HIS", 6),
+    ("ILE", 4),
+    ("LEU", 4),
+    ("LYS", 5),
+    ("MET", 4),
+    ("PHE", 7),
+    ("PRO", 3),
+    ("SER", 2),
+    ("THR", 3),
+    ("TRP", 10),
+    ("TYR", 8),
+    ("VAL", 3),
+];
+
+/// Deterministic residue choice for residue index `i` (no RNG so that atom
+/// counts are exactly reproducible from the spec alone).
+fn residue_for(i: usize) -> (&'static str, usize) {
+    RESIDUE_MENU[(i * 7 + i / 3) % RESIDUE_MENU.len()]
+}
+
+/// Exact atom total for `n` residues chosen by [`residue_for`].
+fn residue_atom_total(n: usize) -> usize {
+    (0..n).map(|i| 4 + residue_for(i).1).sum()
+}
+
+impl SystemBuilder {
+    /// Builder for an explicit spec.
+    pub fn new(spec: SystemSpec) -> SystemBuilder {
+        SystemBuilder { spec }
+    }
+
+    /// Builder for a GPCR-like composition of roughly `natoms`.
+    pub fn gpcr_like(natoms: usize) -> SystemBuilder {
+        SystemBuilder::new(SystemSpec::gpcr_like(natoms))
+    }
+
+    /// The spec this builder realizes.
+    pub fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+
+    /// Build the system. `seed` perturbs coordinates only — the topology
+    /// (atom names/residues/order) is fully determined by the spec.
+    pub fn build(&self, seed: u64) -> MolecularSystem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut atoms: Vec<Atom> = Vec::with_capacity(self.spec.total_atoms());
+        let mut coords: Vec<[f32; 3]> = Vec::with_capacity(self.spec.total_atoms());
+        let [bx, by, bz] = self.spec.box_nm;
+        let center = [bx / 2.0, by / 2.0, bz / 2.0];
+        let mut serial: u32 = 1;
+        let mut resid: i32 = 1;
+
+        // --- Protein: a 7-helix bundle around the box axis. ---
+        let helices = 7usize;
+        let per_helix = self.spec.protein_residues.div_ceil(helices);
+        let bundle_radius = 1.5f32;
+        let helix_rise = 0.15f32;
+        let wheel_radius = 0.23f32;
+        let mut res_index = 0usize;
+        'outer: for h in 0..helices {
+            let angle0 = h as f32 / helices as f32 * std::f32::consts::TAU;
+            let hx = center[0] + bundle_radius * angle0.cos();
+            let hy = center[1] + bundle_radius * angle0.sin();
+            for k in 0..per_helix {
+                if res_index >= self.spec.protein_residues {
+                    break 'outer;
+                }
+                let (resname, sidechain) = residue_for(res_index);
+                // Helical wheel: 100° per residue.
+                let phi = k as f32 * 100.0f32.to_radians();
+                let z0 = center[2] - per_helix as f32 * helix_rise / 2.0 + k as f32 * helix_rise;
+                let ca = [
+                    hx + wheel_radius * phi.cos(),
+                    hy + wheel_radius * phi.sin(),
+                    z0,
+                ];
+                let backbone: [(&str, Element, [f32; 3]); 4] = [
+                    ("N", Element::N, [ca[0] - 0.12, ca[1], ca[2] - 0.05]),
+                    ("CA", Element::C, ca),
+                    ("C", Element::C, [ca[0] + 0.12, ca[1] + 0.03, ca[2] + 0.05]),
+                    ("O", Element::O, [ca[0] + 0.15, ca[1] + 0.14, ca[2] + 0.02]),
+                ];
+                for (name, element, pos) in backbone {
+                    atoms.push(Atom {
+                        serial,
+                        name: name.to_string(),
+                        resname: resname.to_string(),
+                        resid,
+                        chain: 'A',
+                        element,
+                        hetero: false,
+                    });
+                    coords.push(jitter(pos, 0.01, &mut rng));
+                    serial = serial.wrapping_add(1);
+                }
+                // Sidechain pseudo-atoms fan outward from CA.
+                let out_dir = [phi.cos(), phi.sin(), 0.0];
+                for s in 0..sidechain {
+                    let name = format!("CB{}", s + 1);
+                    atoms.push(Atom {
+                        serial,
+                        name,
+                        resname: resname.to_string(),
+                        resid,
+                        chain: 'A',
+                        element: Element::C,
+                        hetero: false,
+                    });
+                    let r = 0.15 * (s as f32 + 1.0);
+                    coords.push(jitter(
+                        [
+                            ca[0] + out_dir[0] * r,
+                            ca[1] + out_dir[1] * r,
+                            ca[2] + 0.03 * s as f32,
+                        ],
+                        0.02,
+                        &mut rng,
+                    ));
+                    serial = serial.wrapping_add(1);
+                }
+                resid += 1;
+                res_index += 1;
+            }
+        }
+
+        // --- Ligand: a small hetero molecule in the bundle's pocket. ---
+        if self.spec.ligand_atoms > 0 {
+            for k in 0..self.spec.ligand_atoms {
+                let phi = k as f32 * 0.8;
+                atoms.push(Atom {
+                    serial,
+                    name: format!("L{}", k + 1),
+                    resname: "LIG".to_string(),
+                    resid,
+                    chain: 'X',
+                    element: if k % 6 == 5 { Element::O } else { Element::C },
+                    hetero: true,
+                });
+                coords.push(jitter(
+                    [
+                        center[0] + 0.35 * phi.cos(),
+                        center[1] + 0.35 * phi.sin(),
+                        center[2] - 0.6 + 0.05 * k as f32,
+                    ],
+                    0.01,
+                    &mut rng,
+                ));
+                serial = serial.wrapping_add(1);
+            }
+            resid += 1;
+        }
+
+        // --- Lipid bilayer: two leaflets of simplified POPC on a grid. ---
+        let per_leaflet = self.spec.lipids.div_ceil(2);
+        let grid = (per_leaflet as f32).sqrt().ceil().max(1.0) as usize;
+        let spacing = bx / grid as f32;
+        let mut lipid_count = 0usize;
+        for leaflet in 0..2usize {
+            let z_head = center[2] + if leaflet == 0 { 1.9 } else { -1.9 };
+            let tail_dir = if leaflet == 0 { -1.0f32 } else { 1.0 };
+            for g in 0..grid * grid {
+                if lipid_count >= self.spec.lipids {
+                    break;
+                }
+                let gx = (g % grid) as f32 * spacing + spacing / 2.0;
+                let gy = (g / grid) as f32 * spacing + spacing / 2.0;
+                // Skip the protein footprint.
+                let dx = gx - center[0];
+                let dy = gy - center[1];
+                if (dx * dx + dy * dy).sqrt() < bundle_radius + 0.6 {
+                    continue;
+                }
+                push_lipid(
+                    &mut atoms,
+                    &mut coords,
+                    &mut serial,
+                    &mut resid,
+                    [gx, gy, z_head],
+                    tail_dir,
+                    &mut rng,
+                );
+                lipid_count += 1;
+            }
+        }
+        // If the footprint exclusion left lipids unplaced, pack the rest in
+        // a second shell so the composition stays exact.
+        while lipid_count < self.spec.lipids {
+            let gx = rng.gen_range(0.0..bx);
+            let gy = rng.gen_range(0.0..by);
+            let leaflet = lipid_count % 2;
+            let z_head = center[2] + if leaflet == 0 { 1.9 } else { -1.9 };
+            let tail_dir = if leaflet == 0 { -1.0f32 } else { 1.0 };
+            push_lipid(
+                &mut atoms,
+                &mut coords,
+                &mut serial,
+                &mut resid,
+                [gx, gy, z_head],
+                tail_dir,
+                &mut rng,
+            );
+            lipid_count += 1;
+        }
+
+        // --- Water: lattice filling the non-membrane slabs. ---
+        let w_grid = (self.spec.waters as f32).cbrt().ceil().max(1.0) as usize;
+        let mut placed = 0usize;
+        'water: for iz in 0..w_grid * 2 {
+            for iy in 0..w_grid {
+                for ix in 0..w_grid {
+                    if placed >= self.spec.waters {
+                        break 'water;
+                    }
+                    let x = (ix as f32 + 0.5) / w_grid as f32 * bx;
+                    let y = (iy as f32 + 0.5) / w_grid as f32 * by;
+                    // Two solvent slabs above and below the membrane.
+                    let frac = (iz as f32 + 0.5) / (w_grid * 2) as f32;
+                    let z = if frac < 0.5 {
+                        frac * (center[2] - 2.6)
+                    } else {
+                        center[2] + 2.6 + (frac - 0.5) * (bz - center[2] - 2.6)
+                    };
+                    let o = jitter([x, y, z], 0.03, &mut rng);
+                    let spec3: [(&str, Element, [f32; 3]); 3] = [
+                        ("OW", Element::O, o),
+                        ("HW1", Element::H, [o[0] + 0.0957, o[1], o[2]]),
+                        ("HW2", Element::H, [o[0] - 0.024, o[1] + 0.0927, o[2]]),
+                    ];
+                    for (name, element, pos) in spec3 {
+                        atoms.push(Atom {
+                            serial,
+                            name: name.to_string(),
+                            resname: "SOL".to_string(),
+                            resid,
+                            chain: 'W',
+                            element,
+                            hetero: false,
+                        });
+                        coords.push(pos);
+                        serial = serial.wrapping_add(1);
+                    }
+                    resid += 1;
+                    placed += 1;
+                }
+            }
+        }
+
+        // --- Ions. ---
+        for p in 0..self.spec.ion_pairs {
+            for (resname, name, element) in
+                [("SOD", "NA", Element::Na), ("CLA", "CL", Element::Cl)]
+            {
+                atoms.push(Atom {
+                    serial,
+                    name: name.to_string(),
+                    resname: resname.to_string(),
+                    resid,
+                    chain: 'I',
+                    element,
+                    hetero: true,
+                });
+                let z = if p % 2 == 0 { 0.4 } else { bz - 0.4 };
+                coords.push([
+                    rng.gen_range(0.0..bx),
+                    rng.gen_range(0.0..by),
+                    z + rng.gen_range(-0.2..0.2f32),
+                ]);
+                serial = serial.wrapping_add(1);
+                resid += 1;
+            }
+        }
+
+        MolecularSystem::from_atoms(
+            "synthetic GPCR-like membrane system (ADA reproduction workload)",
+            atoms,
+            coords,
+            PbcBox::rectangular(bx, by, bz),
+        )
+    }
+}
+
+fn jitter(p: [f32; 3], amp: f32, rng: &mut StdRng) -> [f32; 3] {
+    [
+        p[0] + rng.gen_range(-amp..amp),
+        p[1] + rng.gen_range(-amp..amp),
+        p[2] + rng.gen_range(-amp..amp),
+    ]
+}
+
+fn push_lipid(
+    atoms: &mut Vec<Atom>,
+    coords: &mut Vec<[f32; 3]>,
+    serial: &mut u32,
+    resid: &mut i32,
+    head: [f32; 3],
+    tail_dir: f32,
+    rng: &mut StdRng,
+) {
+    // Simplified POPC: 8 head-group atoms, two tails of 22 carbons each.
+    let head_atoms: [(&str, Element); 8] = [
+        ("N", Element::N),
+        ("C13", Element::C),
+        ("C14", Element::C),
+        ("C15", Element::C),
+        ("P", Element::P),
+        ("O11", Element::O),
+        ("O12", Element::O),
+        ("C1", Element::C),
+    ];
+    for (k, (name, element)) in head_atoms.iter().enumerate() {
+        atoms.push(Atom {
+            serial: *serial,
+            name: name.to_string(),
+            resname: "POPC".to_string(),
+            resid: *resid,
+            chain: 'L',
+            element: *element,
+            hetero: false,
+        });
+        coords.push(jitter(
+            [
+                head[0] + (k as f32 * 0.07) * (k as f32).cos(),
+                head[1] + (k as f32 * 0.07) * (k as f32).sin(),
+                head[2],
+            ],
+            0.02,
+            rng,
+        ));
+        *serial = serial.wrapping_add(1);
+    }
+    for tail in 0..2 {
+        let off = if tail == 0 { -0.2f32 } else { 0.2 };
+        for c in 0..22usize {
+            atoms.push(Atom {
+                serial: *serial,
+                name: format!("C{}{}", tail + 2, c + 1),
+                resname: "POPC".to_string(),
+                resid: *resid,
+                chain: 'L',
+                element: Element::C,
+                hetero: false,
+            });
+            coords.push(jitter(
+                [
+                    head[0] + off,
+                    head[1],
+                    head[2] + tail_dir * 0.127 * (c as f32 + 1.0),
+                ],
+                0.02,
+                rng,
+            ));
+            *serial = serial.wrapping_add(1);
+        }
+    }
+    *resid += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ada_mdmodel::Category;
+
+    #[test]
+    fn spec_atom_count_is_exact() {
+        let spec = SystemSpec::gpcr_like(5000);
+        let sys = SystemBuilder::new(spec.clone()).build(3);
+        assert_eq!(sys.len(), spec.total_atoms());
+    }
+
+    #[test]
+    fn composition_close_to_target() {
+        for natoms in [1000usize, 5000, 20000] {
+            let sys = SystemBuilder::gpcr_like(natoms).build(1);
+            let total = sys.len() as f64;
+            assert!(
+                (total - natoms as f64).abs() / (natoms as f64) < 0.08,
+                "total {} vs target {}",
+                total,
+                natoms
+            );
+            let f = sys.protein_fraction();
+            assert!(f > 0.38 && f < 0.47, "protein fraction {} at {}", f, natoms);
+        }
+    }
+
+    #[test]
+    fn all_categories_present() {
+        let sys = SystemBuilder::gpcr_like(4000).build(9);
+        let counts = sys.category_counts();
+        assert!(counts[&Category::Protein] > 0);
+        assert!(counts[&Category::Lipid] > 0);
+        assert!(counts[&Category::Water] > 0);
+        assert!(counts[&Category::Ion] > 0);
+        // The CB1-like composition carries a bound ligand.
+        assert_eq!(counts[&Category::Ligand], 26);
+    }
+
+    #[test]
+    fn coordinates_inside_reasonable_bounds() {
+        let sys = SystemBuilder::gpcr_like(3000).build(5);
+        let l = sys.pbc.lengths();
+        for c in &sys.coords {
+            for d in 0..3 {
+                assert!(
+                    c[d] > -1.5 && c[d] < l[d] + 1.5,
+                    "coordinate {:?} outside box {:?}",
+                    c,
+                    l
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lipids_have_52_atoms() {
+        let sys = SystemBuilder::gpcr_like(4000).build(2);
+        for res in &sys.residues {
+            if res.name == "POPC" {
+                assert_eq!(res.len(), ATOMS_PER_LIPID);
+            }
+            if res.name == "SOL" {
+                assert_eq!(res.len(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn topology_independent_of_seed() {
+        let a = SystemBuilder::gpcr_like(2000).build(1);
+        let b = SystemBuilder::gpcr_like(2000).build(2);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.atoms.iter().zip(&b.atoms) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.resname, y.resname);
+        }
+        // Coordinates differ.
+        assert_ne!(a.coords, b.coords);
+    }
+}

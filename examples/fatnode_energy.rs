@@ -1,0 +1,52 @@
+//! The §4.3 "just buy more memory" experiment: sweep the fat node's frame
+//! counts and watch who gets OOM-killed and what the power meter says.
+//!
+//! ```text
+//! cargo run --release --example fatnode_energy
+//! ```
+
+use ada_platforms::figures::FIG10_SCENARIOS;
+use ada_platforms::report::{fmt_secs, format_table};
+use ada_platforms::{run_scenario, KillPoint, Platform};
+
+fn main() {
+    let platform = Platform::fatnode();
+    println!("platform: {}\n", platform.name);
+    let frames = [
+        625_600u64,
+        1_564_000,
+        1_876_800,
+        2_502_400,
+        4_379_200,
+        5_004_800,
+    ];
+    let mut rows = Vec::new();
+    for &f in &frames {
+        for &s in &FIG10_SCENARIOS {
+            let m = run_scenario(&platform, s, f);
+            rows.push(vec![
+                f.to_string(),
+                m.label.clone(),
+                fmt_secs(m.turnaround().as_secs_f64()),
+                format!("{:.0} GB", m.mem_peak_bytes as f64 / 1e9),
+                format!("{:.0} kJ", m.energy_kj),
+                match m.killed {
+                    None => "ok".to_string(),
+                    Some(KillPoint::DuringRender) => "KILLED (render)".to_string(),
+                    Some(KillPoint::DuringLoad) => "KILLED (load)".to_string(),
+                },
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        format_table(
+            "Fat node (1,007 GB): turnaround / memory / energy / OOM",
+            &["frames", "scenario", "turnaround", "peak mem", "energy", "outcome"],
+            &rows
+        )
+    );
+    println!("XFS and ADA(all) die at 1,876,800 frames; ADA(protein) renders");
+    println!("2x+ more frames on the same DRAM and uses a fraction of the energy —");
+    println!("bigger memory delays the wall, application-conscious filtering moves it.");
+}

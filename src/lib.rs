@@ -1,0 +1,64 @@
+//! # ada-repro — umbrella crate
+//!
+//! Re-exports the whole ADA reproduction stack under one roof so the
+//! workspace examples and integration tests (and downstream users who just
+//! want everything) can depend on a single crate.
+//!
+//! Start with [`ada_core::Ada`] for the middleware itself, or run
+//! `cargo run -p ada-bench --bin repro -- all` to regenerate the paper's
+//! evaluation. See README.md for the architecture tour.
+
+pub use ada_core as core;
+pub use ada_mdformats as mdformats;
+pub use ada_mdmodel as mdmodel;
+pub use ada_platforms as platforms;
+pub use ada_plfs as plfs;
+pub use ada_simfs as simfs;
+pub use ada_storagesim as storagesim;
+pub use ada_vmdsim as vmdsim;
+pub use ada_workload as workload;
+
+use ada_core::{Ada, AdaConfig};
+use ada_plfs::ContainerSet;
+use ada_simfs::{LocalFs, SimFileSystem};
+use std::sync::Arc;
+
+/// Build a ready-to-use ADA instance over an SSD + HDD backend pair — the
+/// paper's prototype deployment, as used by the examples.
+pub fn ada_over_hybrid_storage() -> Ada {
+    let ssd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_nvme());
+    let hdd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_hdd());
+    let containers = Arc::new(ContainerSet::new(vec![
+        ("ssd".into(), ssd.clone()),
+        ("hdd".into(), hdd),
+    ]));
+    Ada::new(AdaConfig::paper_prototype("ssd", "hdd"), containers, ssd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ada_core::IngestInput;
+    use ada_mdmodel::Tag;
+
+    #[test]
+    fn hybrid_helper_works() {
+        let ada = ada_over_hybrid_storage();
+        let w = ada_workload::gpcr_workload(800, 2, 1);
+        let report = ada
+            .ingest(
+                "demo",
+                IngestInput::Real {
+                    pdb_text: ada_mdformats::write_pdb(&w.system),
+                    xtc_bytes: ada_mdformats::xtc::write_xtc(
+                        &w.trajectory,
+                        ada_mdformats::xtc::DEFAULT_PRECISION,
+                    )
+                    .unwrap(),
+                },
+            )
+            .unwrap();
+        assert!(report.raw_bytes > 0);
+        assert!(ada.query("demo", Some(&Tag::protein())).is_ok());
+    }
+}

@@ -1,0 +1,67 @@
+//! Full-scale calibration validation: build the synthetic system at the
+//! paper's actual size (~43.5k atoms, implied by Table 2's 0.522 MB/frame)
+//! and check that the *real* codecs reproduce the published byte ratios —
+//! not just the analytic model.
+
+use ada_core::categorize_algo1;
+use ada_mdmodel::category::Taxonomy;
+use ada_mdmodel::Tag;
+use ada_workload::calibration::PaperCalibration;
+
+#[test]
+fn real_codec_reproduces_table2_ratios_at_paper_scale() {
+    let cal = PaperCalibration::default();
+    let natoms = cal.implied_natoms(); // ≈ 43,500
+    let w = ada_workload::gpcr_workload(natoms, 4, 20260705);
+
+    // Raw volume per frame: 12 B/atom, so ~0.52 MB/frame.
+    let raw_per_frame = w.system.len() as f64 * 12.0;
+    let rel_raw = (raw_per_frame - cal.raw_bytes_per_frame).abs() / cal.raw_bytes_per_frame;
+    assert!(rel_raw < 0.08, "raw/frame {} vs paper {}", raw_per_frame, cal.raw_bytes_per_frame);
+
+    // Protein fraction: Table 1's 43.5–49 % band.
+    let frac = w.system.protein_fraction();
+    assert!(frac > 0.40 && frac < 0.50, "protein fraction {}", frac);
+
+    // Compressed volume through the real xdr3dfcoord coder.
+    let xtc = ada_mdformats::xtc::write_xtc(&w.trajectory, 1000.0).unwrap();
+    let compressed_per_frame = xtc.len() as f64 / w.trajectory.len() as f64;
+    let ratio = raw_per_frame / compressed_per_frame;
+    // The paper's ratio is 3.27×; real MD data compresses slightly
+    // differently than our synthetic motion, so accept 2.3–4.5×.
+    assert!(
+        ratio > 2.3 && ratio < 4.5,
+        "compression ratio {} (paper 3.27)",
+        ratio
+    );
+
+    // Protein-subset volume through the real splitter.
+    let labeler = categorize_algo1(&w.system, &Taxonomy::paper_default());
+    let out = ada_core::split_trajectory(&w.trajectory, &labeler).unwrap();
+    let protein_bytes = out.subsets[&Tag::protein()].len() as f64 / w.trajectory.len() as f64;
+    let rel_prot =
+        (protein_bytes - cal.protein_bytes_per_frame).abs() / cal.protein_bytes_per_frame;
+    assert!(
+        rel_prot < 0.10,
+        "protein/frame {} vs paper {}",
+        protein_bytes,
+        cal.protein_bytes_per_frame
+    );
+}
+
+#[test]
+fn decompression_throughput_is_measurable() {
+    // Sanity: this repo's decoder processes real data at a measurable rate
+    // (the simulator's 28.6 MB/s constant models the PAPER's hardware and
+    // VMD's reader; our decoder on modern hardware should beat it).
+    let w = ada_workload::gpcr_workload(20_000, 5, 7);
+    let xtc = ada_mdformats::xtc::write_xtc(&w.trajectory, 1000.0).unwrap();
+    let raw = w.trajectory.nbytes() as f64;
+    let start = std::time::Instant::now();
+    let out = ada_mdformats::read_xtc(&xtc).unwrap();
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(out.len(), 5);
+    let mbps = raw / secs / 1e6;
+    // Extremely conservative floor — even a debug build should exceed it.
+    assert!(mbps > 5.0, "decode at {:.1} MB/s", mbps);
+}

@@ -1,0 +1,128 @@
+//! Dual-mode consistency: the synthetic (size-only) data plane must agree
+//! with the real (byte-materializing) one on everything the figures
+//! depend on — per-tag volume shares, placement, and the relative timing
+//! structure.
+
+use ada_core::{Ada, AdaConfig, IngestInput, SyntheticDataset};
+use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
+use ada_mdformats::write_pdb;
+use ada_mdmodel::Tag;
+use ada_plfs::ContainerSet;
+use ada_simfs::{LocalFs, SimFileSystem};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn fresh_ada() -> Ada {
+    let ssd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_nvme());
+    let hdd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_hdd());
+    let cs = Arc::new(ContainerSet::new(vec![
+        ("ssd".into(), ssd.clone()),
+        ("hdd".into(), hdd),
+    ]));
+    Ada::new(AdaConfig::paper_prototype("ssd", "hdd"), cs, ssd)
+}
+
+#[test]
+fn synthetic_volumes_match_real_ingest() {
+    // Build a real workload, ingest it; then ingest a synthetic spec with
+    // the same shape and compare tag volumes.
+    let w = ada_workload::gpcr_workload(4000, 4, 11);
+    let real_ada = fresh_ada();
+    let real_report = real_ada
+        .ingest(
+            "real",
+            IngestInput::Real {
+                pdb_text: write_pdb(&w.system),
+                xtc_bytes: write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap(),
+            },
+        )
+        .unwrap();
+
+    let natoms = w.system.len() as u64;
+    let prot_atoms = w
+        .system
+        .category_ranges(ada_mdmodel::Category::Protein)
+        .count() as u64;
+    let mut atoms_by_tag = BTreeMap::new();
+    atoms_by_tag.insert(Tag::protein(), prot_atoms);
+    atoms_by_tag.insert(Tag::misc(), natoms - prot_atoms);
+    let spec = SyntheticDataset {
+        frames: 4,
+        natoms,
+        compressed_bytes: 0, // unused on this path
+        atoms_by_tag,
+    };
+    let synth_ada = fresh_ada();
+    let synth_report = synth_ada
+        .ingest("synth", IngestInput::Synthetic(spec))
+        .unwrap();
+
+    for tag in [Tag::protein(), Tag::misc()] {
+        let real = real_report.bytes_by_tag[&tag] as f64;
+        let synth = synth_report.bytes_by_tag[&tag] as f64;
+        // Real droppings carry small XTCF headers; volumes agree to <1%.
+        let rel = (real - synth).abs() / synth;
+        assert!(rel < 0.01, "tag {} real {} vs synth {}", tag, real, synth);
+    }
+    // Raw volume agrees exactly (12 bytes/atom/frame both ways... plus
+    // per-frame header metadata on the real side).
+    let rel = (real_report.raw_bytes as f64 - synth_report.raw_bytes as f64).abs()
+        / synth_report.raw_bytes as f64;
+    assert!(rel < 0.01, "raw {} vs {}", real_report.raw_bytes, synth_report.raw_bytes);
+}
+
+#[test]
+fn placement_identical_across_modes() {
+    let w = ada_workload::gpcr_workload(2500, 2, 5);
+    let real_ada = fresh_ada();
+    real_ada
+        .ingest(
+            "real",
+            IngestInput::Real {
+                pdb_text: write_pdb(&w.system),
+                xtc_bytes: write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap(),
+            },
+        )
+        .unwrap();
+    let synth_ada = fresh_ada();
+    synth_ada
+        .ingest("synth", IngestInput::Synthetic(SyntheticDataset::gpcr_paper(2)))
+        .unwrap();
+
+    // Both modes put protein on the SSD backend and MISC on the HDD.
+    for (ada, name) in [(&real_ada, "real"), (&synth_ada, "synth")] {
+        let by_backend = ada.containers().bytes_by_backend(name).unwrap();
+        assert!(by_backend.contains_key("ssd"), "{} missing ssd", name);
+        assert!(by_backend.contains_key("hdd"), "{} missing hdd", name);
+        assert!(by_backend["hdd"] > by_backend["ssd"], "{} MISC should dominate", name);
+    }
+}
+
+#[test]
+fn synthetic_query_durations_scale_with_volume() {
+    let ada = fresh_ada();
+    ada.ingest("a", IngestInput::Synthetic(SyntheticDataset::gpcr_paper(1000)))
+        .unwrap();
+    ada.ingest("b", IngestInput::Synthetic(SyntheticDataset::gpcr_paper(4000)))
+        .unwrap();
+    let qa = ada.query("a", Some(&Tag::protein())).unwrap();
+    let qb = ada.query("b", Some(&Tag::protein())).unwrap();
+    let ratio = qb.read.as_secs_f64() / qa.read.as_secs_f64();
+    // 4x the frames → ~4x the read time (modulo fixed latencies).
+    assert!(ratio > 3.0 && ratio < 5.0, "ratio {}", ratio);
+    assert_eq!(qb.data.bytes(), 4 * qa.data.bytes());
+}
+
+#[test]
+fn synthetic_ingest_decompression_dominates() {
+    // Even at ingest, the decompress stage dwarfs categorize+split —
+    // consistent with Fig. 8's profile now running on the storage node.
+    let ada = fresh_ada();
+    let report = ada
+        .ingest("x", IngestInput::Synthetic(SyntheticDataset::gpcr_paper(5006)))
+        .unwrap();
+    assert!(
+        report.decompress.as_secs_f64()
+            > 5.0 * (report.categorize + report.split).as_secs_f64()
+    );
+}

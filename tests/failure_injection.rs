@@ -1,0 +1,184 @@
+//! Failure injection across the stack: corrupted droppings, clobbered
+//! indexes and label files, capacity exhaustion mid-ingest, and queries
+//! racing deletions. The middleware must fail with typed errors — never
+//! panic, never return silently wrong data.
+
+use ada_core::{Ada, AdaConfig, AdaError, IngestInput};
+use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
+use ada_mdformats::write_pdb;
+use ada_mdmodel::Tag;
+use ada_plfs::ContainerSet;
+use ada_simfs::{Content, FsParams, LocalFs, SimFileSystem};
+use ada_storagesim::{Device, DeviceProfile};
+use std::sync::Arc;
+
+struct Rig {
+    ada: Ada,
+    ssd: Arc<dyn SimFileSystem>,
+    #[allow(dead_code)]
+    hdd: Arc<dyn SimFileSystem>,
+}
+
+fn rig() -> Rig {
+    let ssd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_nvme());
+    let hdd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_hdd());
+    let cs = Arc::new(ContainerSet::new(vec![
+        ("ssd".into(), ssd.clone()),
+        ("hdd".into(), hdd.clone()),
+    ]));
+    Rig {
+        ada: Ada::new(AdaConfig::paper_prototype("ssd", "hdd"), cs, ssd.clone()),
+        ssd,
+        hdd,
+    }
+}
+
+fn ingest_demo(ada: &Ada, name: &str) {
+    let w = ada_workload::gpcr_workload(900, 2, 55);
+    ada.ingest(
+        name,
+        IngestInput::Real {
+            pdb_text: write_pdb(&w.system),
+            xtc_bytes: write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap(),
+        },
+    )
+    .unwrap();
+}
+
+#[test]
+fn corrupt_dropping_bytes_yield_typed_error() {
+    let r = rig();
+    ingest_demo(&r.ada, "bar");
+    // Clobber the protein dropping in place: delete + recreate with junk
+    // of the same length.
+    let paths = r.ssd.list("ssd/bar/hostdir.0/");
+    let dropping = paths
+        .iter()
+        .find(|p| p.contains("dropping.data.p"))
+        .expect("protein dropping exists")
+        .clone();
+    let len = r.ssd.stat(&dropping).unwrap().len;
+    r.ssd.delete(&dropping).unwrap();
+    r.ssd
+        .create(&dropping, Content::real(vec![0xAAu8; len as usize]))
+        .unwrap();
+
+    let err = r.ada.query("bar", Some(&Tag::protein())).unwrap_err();
+    assert!(matches!(err, AdaError::Pdb(_)), "got {:?}", err);
+    // The MISC subset is unaffected.
+    assert!(r.ada.query("bar", Some(&Tag::misc())).is_ok());
+}
+
+#[test]
+fn deleted_dropping_yields_fs_error() {
+    let r = rig();
+    ingest_demo(&r.ada, "bar");
+    let paths = r.ssd.list("ssd/bar/hostdir.0/");
+    let dropping = paths
+        .iter()
+        .find(|p| p.contains("dropping.data.p"))
+        .unwrap()
+        .clone();
+    r.ssd.delete(&dropping).unwrap();
+    let err = r.ada.query("bar", Some(&Tag::protein())).unwrap_err();
+    assert!(matches!(err, AdaError::Plfs(_)), "got {:?}", err);
+}
+
+#[test]
+fn corrupt_persisted_index_detected_on_reload() {
+    let r = rig();
+    ingest_demo(&r.ada, "bar");
+    let index_path = "ssd/bar/hostdir.0/index";
+    assert!(r.ssd.exists(index_path));
+    r.ssd.delete(index_path).unwrap();
+    r.ssd
+        .create(index_path, Content::real(b"{not json".to_vec()))
+        .unwrap();
+    let err = r.ada.containers().load_index("bar").unwrap_err();
+    assert!(matches!(err, ada_plfs::PlfsError::CorruptIndex(_)));
+}
+
+#[test]
+fn truncated_xtc_at_ingest_is_rejected_cleanly() {
+    let r = rig();
+    let w = ada_workload::gpcr_workload(900, 2, 56);
+    let xtc = write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap();
+    let result = r.ada.ingest(
+        "bad",
+        IngestInput::Real {
+            pdb_text: write_pdb(&w.system),
+            xtc_bytes: xtc[..xtc.len() / 2].to_vec(),
+        },
+    );
+    assert!(matches!(result, Err(AdaError::Xtc(_))));
+    // The failed dataset is not queryable.
+    assert!(matches!(
+        r.ada.query("bad", None),
+        Err(AdaError::UnknownDataset(_))
+    ));
+}
+
+#[test]
+fn pdb_xtc_atom_mismatch_rejected() {
+    let r = rig();
+    let w1 = ada_workload::gpcr_workload(900, 1, 57);
+    let w2 = ada_workload::gpcr_workload(400, 1, 58);
+    let result = r.ada.ingest(
+        "bad",
+        IngestInput::Real {
+            pdb_text: write_pdb(&w1.system),
+            xtc_bytes: write_xtc(&w2.trajectory, DEFAULT_PRECISION).unwrap(),
+        },
+    );
+    assert!(matches!(result, Err(AdaError::AtomMismatch { .. })));
+}
+
+#[test]
+fn backend_out_of_space_mid_ingest() {
+    // A comically small SSD backend: ingest fails with a storage error
+    // instead of corrupting state.
+    let tiny_profile = DeviceProfile {
+        capacity: 50_000, // 50 kB
+        ..DeviceProfile::nvme_ssd_256gb()
+    };
+    let tiny: Arc<dyn SimFileSystem> = Arc::new(LocalFs::new(
+        "tiny-ssd",
+        FsParams::ext4(),
+        ada_simfs::local::Backing::Single(Device::new(tiny_profile)),
+    ));
+    let hdd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_hdd());
+    let cs = Arc::new(ContainerSet::new(vec![
+        ("ssd".into(), tiny.clone()),
+        ("hdd".into(), hdd),
+    ]));
+    let ada = Ada::new(AdaConfig::paper_prototype("ssd", "hdd"), cs, tiny);
+    let w = ada_workload::gpcr_workload(5000, 3, 59);
+    let result = ada.ingest(
+        "big",
+        IngestInput::Real {
+            pdb_text: write_pdb(&w.system),
+            xtc_bytes: write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap(),
+        },
+    );
+    match result {
+        Err(AdaError::Plfs(ada_plfs::PlfsError::Fs(ada_simfs::FsError::NoSpace { .. })))
+        | Err(AdaError::Fs(ada_simfs::FsError::NoSpace { .. })) => {}
+        other => panic!("expected NoSpace, got {:?}", other.map(|r| r.dataset)),
+    }
+}
+
+#[test]
+fn queries_against_wrong_tags_and_names_never_panic() {
+    let r = rig();
+    ingest_demo(&r.ada, "bar");
+    for tag in ["", "P", "pp", "protein", "\0", "🧬"] {
+        let res = r.ada.query("bar", Some(&Tag::new(tag)));
+        assert!(matches!(res, Err(AdaError::UnknownTag(_))), "tag {:?}", tag);
+    }
+    for name in ["", "BAR", "bar ", "../bar"] {
+        assert!(matches!(
+            r.ada.query(name, None),
+            Err(AdaError::UnknownDataset(_))
+        ));
+    }
+}
