@@ -1,0 +1,93 @@
+//! Serial vs pipelined ingest: the frame-parallel splitter
+//! (`split_trajectory_opts`) and the streaming three-stage ingest
+//! pipeline (`Ada::ingest_streaming`) at 1/2/4/8 worker threads over a
+//! 1 000-frame GPCR workload.
+
+use ada_core::{
+    categorize_algo1, split_trajectory_opts, split_trajectory_serial, Ada, AdaConfig,
+    SplitOptions,
+};
+use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
+use ada_mdformats::write_pdb;
+use ada_mdmodel::category::Taxonomy;
+use ada_plfs::ContainerSet;
+use ada_simfs::{LocalFs, SimFileSystem};
+use ada_workload::gpcr_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn ada_with(split_threads: usize, pipeline_depth: usize) -> Ada {
+    let ssd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_nvme());
+    let hdd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_hdd());
+    let containers = Arc::new(ContainerSet::new(vec![
+        ("ssd".into(), ssd.clone()),
+        ("hdd".into(), hdd),
+    ]));
+    let config = AdaConfig {
+        split_threads,
+        pipeline_depth,
+        ..AdaConfig::paper_prototype("ssd", "hdd")
+    };
+    Ada::new(config, containers, ssd)
+}
+
+fn bench_splitter(c: &mut Criterion) {
+    let w = gpcr_workload(2_000, 1_000, 7);
+    let labeler = categorize_algo1(&w.system, &Taxonomy::paper_default());
+    let mut g = c.benchmark_group("ingest_pipeline/split");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.throughput(Throughput::Bytes(w.trajectory.nbytes() as u64));
+    g.bench_function("serial", |b| {
+        b.iter(|| split_trajectory_serial(&w.trajectory, &labeler).unwrap())
+    });
+    for threads in THREAD_COUNTS {
+        g.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| {
+                split_trajectory_opts(&w.trajectory, &labeler, SplitOptions::with_threads(t))
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_streaming_ingest(c: &mut Criterion) {
+    let w = gpcr_workload(2_000, 1_000, 7);
+    let pdb_text = write_pdb(&w.system);
+    let xtc_bytes = write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap();
+    let mut g = c.benchmark_group("ingest_pipeline/streaming");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.throughput(Throughput::Bytes(w.trajectory.nbytes() as u64));
+    // A fresh ADA per iteration: datasets are create-once and the
+    // in-memory backends would otherwise accumulate droppings.
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            ada_with(1, 1)
+                .ingest_streaming("bench", &pdb_text, &xtc_bytes, 128)
+                .unwrap()
+        })
+    });
+    for threads in THREAD_COUNTS {
+        g.bench_with_input(
+            BenchmarkId::new("pipelined", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    ada_with(t, 2)
+                        .ingest_streaming("bench", &pdb_text, &xtc_bytes, 128)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_splitter, bench_streaming_ingest);
+criterion_main!(benches);

@@ -50,6 +50,7 @@ fn main() {
             "playback" => print_playback(),
             "amortization" => print_amortization(),
             "contention" => print_contention(),
+            "bench-ingest" => bench_ingest(),
             other => eprintln!("unknown item '{}'", other),
         }
     }
@@ -470,4 +471,145 @@ fn print_fig10(which: Option<usize>) {
     if which.is_none() || which == Some(3) {
         println!("  paper anchors: XFS >12,500 kJ, ADA(all) <5,000 kJ, ADA(protein) ~2,200 kJ at 1,876,800 frames\n");
     }
+}
+
+/// `repro bench-ingest` — wall-clock the serial vs pipelined ingest
+/// paths (splitter and streaming pipeline at 1/2/4/8 threads) over a
+/// 1,000-frame GPCR workload, print a table and write BENCH_ingest.json.
+fn bench_ingest() {
+    use ada_core::{
+        categorize_algo1, split_trajectory_opts, split_trajectory_serial, Ada, AdaConfig,
+        SplitOptions,
+    };
+    use ada_json::Value;
+    use ada_mdformats::write_pdb;
+    use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
+    use ada_mdmodel::category::Taxonomy;
+    use ada_plfs::ContainerSet;
+    use ada_simfs::{LocalFs, SimFileSystem};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const THREADS: [usize; 4] = [1, 2, 4, 8];
+    const REPS: usize = 5;
+
+    fn time<F: FnMut()>(mut f: F) -> f64 {
+        f(); // warm up caches and the allocator
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    }
+
+    fn ada_with(split_threads: usize, pipeline_depth: usize) -> Ada {
+        let ssd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_nvme());
+        let hdd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_hdd());
+        let containers = Arc::new(ContainerSet::new(vec![
+            ("ssd".into(), ssd.clone()),
+            ("hdd".into(), hdd),
+        ]));
+        let config = AdaConfig {
+            split_threads,
+            pipeline_depth,
+            ..AdaConfig::paper_prototype("ssd", "hdd")
+        };
+        Ada::new(config, containers, ssd)
+    }
+
+    let w = ada_workload::gpcr_workload(2_000, 1_000, 7);
+    let labeler = categorize_algo1(&w.system, &Taxonomy::paper_default());
+    let pdb_text = write_pdb(&w.system);
+    let xtc_bytes = write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap();
+    let raw_bytes = w.trajectory.nbytes() as u64;
+    let mib = raw_bytes as f64 / (1024.0 * 1024.0);
+
+    let mut results: Vec<(String, f64)> = Vec::new();
+    results.push((
+        "split/serial".into(),
+        time(|| {
+            split_trajectory_serial(&w.trajectory, &labeler).unwrap();
+        }),
+    ));
+    for t in THREADS {
+        results.push((
+            format!("split/parallel/{}", t),
+            time(|| {
+                split_trajectory_opts(&w.trajectory, &labeler, SplitOptions::with_threads(t))
+                    .unwrap();
+            }),
+        ));
+    }
+    results.push((
+        "streaming/serial".into(),
+        time(|| {
+            ada_with(1, 1)
+                .ingest_streaming("bench", &pdb_text, &xtc_bytes, 128)
+                .unwrap();
+        }),
+    ));
+    for t in THREADS {
+        results.push((
+            format!("streaming/pipelined/{}", t),
+            time(|| {
+                ada_with(t, 2)
+                    .ingest_streaming("bench", &pdb_text, &xtc_bytes, 128)
+                    .unwrap();
+            }),
+        ));
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, s)| {
+            vec![
+                name.clone(),
+                format!("{:.1}", s * 1e3),
+                format!("{:.1}", mib / s),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &format!(
+                "Ingest pipeline — best of {} (GPCR, 1,000 frames × {} atoms, {} core(s))",
+                REPS,
+                w.system.len(),
+                cores
+            ),
+            &["path", "time (ms)", "throughput (MiB/s)"],
+            &rows
+        )
+    );
+
+    let json = Value::obj(vec![
+        ("workload", Value::obj(vec![
+            ("natoms", Value::num_u(w.system.len() as u64)),
+            ("nframes", Value::num_u(w.trajectory.len() as u64)),
+            ("raw_bytes", Value::num_u(raw_bytes)),
+        ])),
+        ("cores", Value::num_u(cores as u64)),
+        ("reps", Value::num_u(REPS as u64)),
+        (
+            "results",
+            Value::Arr(
+                results
+                    .iter()
+                    .map(|(name, s)| {
+                        Value::obj(vec![
+                            ("name", Value::str(name)),
+                            ("seconds", Value::Num(*s)),
+                            ("mib_per_s", Value::Num(mib / s)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write("BENCH_ingest.json", json.to_vec()).expect("write BENCH_ingest.json");
+    println!("  wrote BENCH_ingest.json\n");
 }

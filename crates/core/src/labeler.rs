@@ -7,14 +7,14 @@
 
 use crate::categorizer::Labeler;
 use crate::AdaError;
+use ada_json::Value;
 use ada_mdmodel::{IndexRanges, Tag};
 use ada_simfs::{Content, SimFileSystem};
 use ada_storagesim::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Serializable label metadata for one ingested dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LabelFile {
     /// Logical dataset name (the `.xtc` stem).
     pub dataset: String,
@@ -59,9 +59,51 @@ impl LabelFile {
         format!("ada/labels/{}.label.json", dataset)
     }
 
+    /// JSON rendering: ranges are `[start, end)` pairs under each tag.
+    fn to_json(&self) -> Value {
+        let tags = self
+            .tags
+            .iter()
+            .map(|(tag, ranges)| {
+                let pairs = ranges
+                    .iter_ranges()
+                    .map(|r| Value::Arr(vec![Value::num_u(r.start as u64), Value::num_u(r.end as u64)]))
+                    .collect();
+                (tag.as_str().to_string(), Value::Arr(pairs))
+            })
+            .collect();
+        Value::obj(vec![
+            ("dataset", Value::str(self.dataset.clone())),
+            ("natoms", Value::num_u(self.natoms as u64)),
+            ("nframes", Value::num_u(self.nframes as u64)),
+            ("tags", Value::Obj(tags)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<LabelFile, ada_json::JsonError> {
+        let mut tags = BTreeMap::new();
+        for (tag, pairs) in v.field("tags")?.as_obj()? {
+            let mut ranges = Vec::new();
+            for pair in pairs.as_arr()? {
+                let pair = pair.as_arr()?;
+                if pair.len() != 2 {
+                    return Err(ada_json::JsonError("range is not a [start, end) pair".into()));
+                }
+                ranges.push(pair[0].as_usize()?..pair[1].as_usize()?);
+            }
+            tags.insert(Tag::new(tag.as_str()), IndexRanges::from_ranges(ranges));
+        }
+        Ok(LabelFile {
+            dataset: v.field("dataset")?.as_str()?.to_string(),
+            natoms: v.field("natoms")?.as_usize()?,
+            nframes: v.field("nframes")?.as_usize()?,
+            tags,
+        })
+    }
+
     /// Persist to a file system; returns the write duration.
     pub fn store(&self, fs: &dyn SimFileSystem) -> Result<SimDuration, AdaError> {
-        let json = serde_json::to_vec(self).expect("label file serializes");
+        let json = self.to_json().to_vec();
         let path = LabelFile::path_for(&self.dataset);
         if fs.exists(&path) {
             fs.delete(&path)?;
@@ -75,7 +117,8 @@ impl LabelFile {
         let bytes = content
             .as_real()
             .ok_or_else(|| AdaError::Pdb("label file is synthetic".into()))?;
-        let label: LabelFile = serde_json::from_slice(bytes)
+        let label = ada_json::parse(bytes)
+            .and_then(|v| LabelFile::from_json(&v))
             .map_err(|e| AdaError::Pdb(format!("label parse: {}", e)))?;
         Ok((label, d))
     }

@@ -5,13 +5,29 @@
 //! labeler's ranges; each subset is then re-encoded in the uncompressed
 //! XTCF format for its backend, so later reads need no decompression at
 //! all.
+//!
+//! Splitting parallelizes across **two** dimensions: tags × frame
+//! chunks. A trajectory with two tags on an eight-core storage node
+//! would leave six cores idle under per-tag threading alone, so the
+//! frame axis is also cut into chunks and every (tag, chunk) cell
+//! becomes one unit of work on a shared queue. XTCF frame records are
+//! fixed-size and encoded independently, so per-chunk encodes stitch
+//! back together — one header plus chunk bodies in frame order — into
+//! exactly the bytes a serial encode would produce.
+//!
+//! The per-cell hot loop is allocation-free after startup: each worker
+//! reuses one gather buffer across frames ([`IndexRanges::gather_into`])
+//! and each cell's output buffer is pre-sized from
+//! [`ada_mdformats::xtcf::encoded_len`].
 
 use crate::categorizer::Labeler;
 use crate::AdaError;
 use ada_mdformats::xtcf::XtcfWriter;
-use ada_mdformats::{Frame, Trajectory};
+use ada_mdformats::{xtcf, Trajectory};
 use ada_mdmodel::{IndexRanges, Tag};
 use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Result of splitting a trajectory by tags.
 #[derive(Debug)]
@@ -22,17 +38,159 @@ pub struct PreprocessOutput {
     pub raw_bytes: u64,
 }
 
-/// Split `traj` into per-tag XTCF payloads guided by `labeler`.
-///
-/// The per-tag work (gather + encode) is fanned out over crossbeam scoped
-/// threads — the storage node's cores are exactly the resource the paper
-/// wants to spend here instead of compute-node cores.
+/// Tuning knobs for [`split_trajectory_opts`].
+#[derive(Debug, Clone, Copy)]
+pub struct SplitOptions {
+    /// Worker threads; 0 means one per available core.
+    pub threads: usize,
+    /// Frames per work cell; 0 picks a chunk size that yields a few
+    /// cells per worker (load balance without stitch overhead).
+    pub chunk_frames: usize,
+}
+
+impl Default for SplitOptions {
+    fn default() -> SplitOptions {
+        SplitOptions {
+            threads: 0,
+            chunk_frames: 0,
+        }
+    }
+}
+
+impl SplitOptions {
+    /// Explicit thread count, automatic chunking.
+    pub fn with_threads(threads: usize) -> SplitOptions {
+        SplitOptions {
+            threads,
+            chunk_frames: 0,
+        }
+    }
+
+    fn resolve(&self, nframes: usize) -> (usize, usize) {
+        let threads = if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        };
+        let chunk = if self.chunk_frames > 0 {
+            self.chunk_frames
+        } else {
+            // ~4 cells per worker per tag keeps the queue long enough to
+            // balance uneven tags without drowning in tiny encodes.
+            (nframes / (threads * 4)).max(16)
+        };
+        (threads, chunk)
+    }
+}
+
+/// Split `traj` into per-tag XTCF payloads guided by `labeler`, using
+/// default parallelism (one worker per core).
 pub fn split_trajectory(
     traj: &Trajectory,
     labeler: &Labeler,
 ) -> Result<PreprocessOutput, AdaError> {
+    split_trajectory_opts(traj, labeler, SplitOptions::default())
+}
+
+/// Split `traj` with explicit parallelism options.
+///
+/// Work is a queue of (tag, frame-chunk) cells claimed by `threads`
+/// crossbeam scoped workers; the output is byte-identical to
+/// [`split_trajectory_serial`] for every thread count and chunk size.
+pub fn split_trajectory_opts(
+    traj: &Trajectory,
+    labeler: &Labeler,
+    opts: SplitOptions,
+) -> Result<PreprocessOutput, AdaError> {
     let natoms = traj.natoms();
+    check_ranges(labeler, natoms)?;
+
+    let entries: Vec<(&Tag, &IndexRanges)> = labeler.iter().collect();
+    let nframes = traj.len();
+    let (threads, chunk_frames) = opts.resolve(nframes.max(1));
+    let nchunks = nframes.div_ceil(chunk_frames);
+    let ncells = entries.len() * nchunks;
+
+    // cell index -> encoded body bytes (header stripped at stitch time).
+    let mut cells: Vec<Option<Vec<u8>>> = Vec::new();
+    cells.resize_with(ncells, || None);
+
+    if ncells > 0 {
+        let next = AtomicUsize::new(0);
+        let workers = threads.min(ncells);
+        let outcome: Result<(), AdaError> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let entries = &entries;
+                    scope.spawn(move |_| {
+                        let mut done: Vec<(usize, Result<Vec<u8>, AdaError>)> = Vec::new();
+                        let mut gather_buf: Vec<[f32; 3]> = Vec::new();
+                        loop {
+                            let cell = next.fetch_add(1, Ordering::Relaxed);
+                            if cell >= ncells {
+                                break;
+                            }
+                            let ranges = entries[cell / nchunks].1;
+                            let start = (cell % nchunks) * chunk_frames;
+                            let end = (start + chunk_frames).min(nframes);
+                            done.push((cell, encode_chunk(traj, ranges, start..end, &mut gather_buf)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (idx, res) in h.join().expect("split worker panicked") {
+                    cells[idx] = Some(res?);
+                }
+            }
+            Ok(())
+        })
+        .expect("split scope panicked");
+        outcome?;
+    }
+
+    // Stitch: per tag, one header + chunk bodies in frame order.
+    let mut subsets = BTreeMap::new();
+    for (ti, (tag, ranges)) in entries.iter().enumerate() {
+        let mut out = Vec::with_capacity(xtcf::encoded_len(nframes, ranges.count()));
+        out.extend_from_slice(&xtcf::XTCF_MAGIC.to_le_bytes());
+        out.extend_from_slice(&xtcf::XTCF_VERSION.to_le_bytes());
+        for ci in 0..nchunks {
+            let body = cells[ti * nchunks + ci].take().expect("cell encoded");
+            out.extend_from_slice(&body[xtcf::XTCF_HEADER_LEN..]);
+        }
+        subsets.insert((*tag).clone(), out);
+    }
+    Ok(PreprocessOutput {
+        subsets,
+        raw_bytes: traj.nbytes() as u64,
+    })
+}
+
+/// Single-threaded reference splitter (equivalence baseline and the
+/// serial side of the ingest benchmarks). Same allocation-free frame
+/// loop as the parallel path, minus threading.
+pub fn split_trajectory_serial(
+    traj: &Trajectory,
+    labeler: &Labeler,
+) -> Result<PreprocessOutput, AdaError> {
+    check_ranges(labeler, traj.natoms())?;
+    let mut subsets = BTreeMap::new();
+    let mut gather_buf: Vec<[f32; 3]> = Vec::new();
     for (tag, ranges) in labeler {
+        let bytes = encode_chunk(traj, ranges, 0..traj.len(), &mut gather_buf)?;
+        subsets.insert(tag.clone(), bytes);
+    }
+    Ok(PreprocessOutput {
+        subsets,
+        raw_bytes: traj.nbytes() as u64,
+    })
+}
+
+fn check_ranges(labeler: &Labeler, natoms: usize) -> Result<(), AdaError> {
+    for ranges in labeler.values() {
         if let Some(end) = ranges.end() {
             if end > natoms {
                 return Err(AdaError::AtomMismatch {
@@ -41,44 +199,23 @@ pub fn split_trajectory(
                 });
             }
         }
-        let _ = tag;
     }
-
-    let entries: Vec<(&Tag, &IndexRanges)> = labeler.iter().collect();
-    let mut results: Vec<Option<Result<Vec<u8>, AdaError>>> = Vec::new();
-    results.resize_with(entries.len(), || None);
-
-    crossbeam::thread::scope(|scope| {
-        for ((tag, ranges), slot) in entries.iter().zip(results.iter_mut()) {
-            let _ = tag;
-            scope.spawn(move |_| {
-                *slot = Some(encode_subset(traj, ranges));
-            });
-        }
-    })
-    .expect("split worker panicked");
-
-    let mut subsets = BTreeMap::new();
-    for ((tag, _), slot) in entries.iter().zip(results) {
-        let bytes = slot.expect("slot filled")?;
-        subsets.insert((*tag).clone(), bytes);
-    }
-    Ok(PreprocessOutput {
-        subsets,
-        raw_bytes: traj.nbytes() as u64,
-    })
+    Ok(())
 }
 
-fn encode_subset(traj: &Trajectory, ranges: &IndexRanges) -> Result<Vec<u8>, AdaError> {
-    let mut w = XtcfWriter::new();
-    for frame in &traj.frames {
-        let sub = Frame {
-            step: frame.step,
-            time: frame.time,
-            pbc: frame.pbc,
-            coords: ranges.gather(&frame.coords),
-        };
-        w.write_frame(&sub)
+/// Encode `frames` of the tag subset selected by `ranges` as one XTCF
+/// byte string (header + records). `gather_buf` is reused across frames
+/// so the loop allocates nothing beyond the pre-sized output buffer.
+fn encode_chunk(
+    traj: &Trajectory,
+    ranges: &IndexRanges,
+    frames: Range<usize>,
+    gather_buf: &mut Vec<[f32; 3]>,
+) -> Result<Vec<u8>, AdaError> {
+    let mut w = XtcfWriter::with_capacity(frames.len(), ranges.count());
+    for frame in &traj.frames[frames] {
+        ranges.gather_into(&frame.coords, gather_buf);
+        w.write_frame_parts(frame.step, frame.time, &frame.pbc, gather_buf)
             .map_err(|e| AdaError::Pdb(format!("xtcf encode: {}", e)))?;
     }
     Ok(w.into_bytes())
@@ -127,12 +264,40 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matches_serial_bytewise() {
+        let (_, traj, labeler) = workload();
+        let serial = split_trajectory_serial(&traj, &labeler).unwrap();
+        // Sweep thread counts and chunk sizes, including chunks that
+        // don't divide the frame count and chunks larger than it.
+        for threads in [1, 2, 3, 8] {
+            for chunk_frames in [1, 2, 3, 100] {
+                let par = split_trajectory_opts(
+                    &traj,
+                    &labeler,
+                    SplitOptions { threads, chunk_frames },
+                )
+                .unwrap();
+                assert_eq!(par.raw_bytes, serial.raw_bytes);
+                assert_eq!(
+                    par.subsets, serial.subsets,
+                    "threads={} chunk_frames={}",
+                    threads, chunk_frames
+                );
+            }
+        }
+    }
+
+    #[test]
     fn range_overflow_detected() {
         let (_, traj, _) = workload();
         let mut bad: Labeler = BTreeMap::new();
         bad.insert(Tag::protein(), IndexRanges::single(0..traj.natoms() + 5));
         assert!(matches!(
             split_trajectory(&traj, &bad),
+            Err(AdaError::AtomMismatch { .. })
+        ));
+        assert!(matches!(
+            split_trajectory_serial(&traj, &bad),
             Err(AdaError::AtomMismatch { .. })
         ));
     }

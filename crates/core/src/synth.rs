@@ -6,11 +6,10 @@
 //! charges the same virtual time it would for real bytes of that size.
 
 use ada_mdmodel::Tag;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Metadata of a synthetic trajectory dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyntheticDataset {
     /// Frame count.
     pub frames: u64,

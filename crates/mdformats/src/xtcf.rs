@@ -57,7 +57,17 @@ impl Default for XtcfWriter {
 impl XtcfWriter {
     /// New writer with the file header emitted.
     pub fn new() -> XtcfWriter {
-        let mut buf = Vec::new();
+        XtcfWriter::with_buf(Vec::new())
+    }
+
+    /// New writer whose buffer is sized for `nframes` × `natoms` up front
+    /// (see [`encoded_len`]), so encoding a subset of known shape never
+    /// re-allocates.
+    pub fn with_capacity(nframes: usize, natoms: usize) -> XtcfWriter {
+        XtcfWriter::with_buf(Vec::with_capacity(encoded_len(nframes, natoms)))
+    }
+
+    fn with_buf(mut buf: Vec<u8>) -> XtcfWriter {
         buf.extend_from_slice(&XTCF_MAGIC.to_le_bytes());
         buf.extend_from_slice(&XTCF_VERSION.to_le_bytes());
         XtcfWriter { buf, natoms: None }
@@ -65,28 +75,41 @@ impl XtcfWriter {
 
     /// Append one frame. Atom counts must be uniform.
     pub fn write_frame(&mut self, frame: &Frame) -> Result<(), FormatError> {
+        self.write_frame_parts(frame.step, frame.time, &frame.pbc, &frame.coords)
+    }
+
+    /// Append one frame from its parts, without requiring a [`Frame`]:
+    /// callers that gather coordinates into a reusable buffer encode
+    /// straight from that buffer. Atom counts must be uniform.
+    pub fn write_frame_parts(
+        &mut self,
+        step: i32,
+        time: f32,
+        pbc: &PbcBox,
+        coords: &[[f32; 3]],
+    ) -> Result<(), FormatError> {
         if let Some(n) = self.natoms {
-            if n != frame.len() {
+            if n != coords.len() {
                 return Err(FormatError::Corrupt(format!(
                     "frame atom count {} != file atom count {}",
-                    frame.len(),
+                    coords.len(),
                     n
                 )));
             }
         } else {
-            self.natoms = Some(frame.len());
+            self.natoms = Some(coords.len());
         }
-        self.buf.reserve(frame_record_len(frame.len()));
-        self.buf.extend_from_slice(&frame.step.to_le_bytes());
-        self.buf.extend_from_slice(&frame.time.to_le_bytes());
-        for row in &frame.pbc.m {
+        self.buf.reserve(frame_record_len(coords.len()));
+        self.buf.extend_from_slice(&step.to_le_bytes());
+        self.buf.extend_from_slice(&time.to_le_bytes());
+        for row in &pbc.m {
             for &v in row {
                 self.buf.extend_from_slice(&v.to_le_bytes());
             }
         }
         self.buf
-            .extend_from_slice(&(frame.len() as u32).to_le_bytes());
-        for c in &frame.coords {
+            .extend_from_slice(&(coords.len() as u32).to_le_bytes());
+        for c in coords {
             for &v in c {
                 self.buf.extend_from_slice(&v.to_le_bytes());
             }
@@ -107,6 +130,11 @@ impl XtcfWriter {
     /// True right after construction (header only).
     pub fn is_empty(&self) -> bool {
         self.buf.len() == XTCF_HEADER_LEN
+    }
+
+    /// Current buffer capacity in bytes (for allocation regression tests).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
     }
 }
 
@@ -258,6 +286,27 @@ mod tests {
         let mut w = XtcfWriter::new();
         w.write_frame(&Frame::from_coords(vec![[0.0; 3]; 3])).unwrap();
         assert!(w.write_frame(&Frame::from_coords(vec![[0.0; 3]; 4])).is_err());
+    }
+
+    #[test]
+    fn with_capacity_never_reallocates() {
+        let t = traj();
+        let mut w = XtcfWriter::with_capacity(t.len(), t.natoms());
+        let cap0 = w.capacity();
+        assert_eq!(cap0, encoded_len(t.len(), t.natoms()));
+        for f in &t.frames {
+            w.write_frame(f).unwrap();
+        }
+        assert_eq!(w.capacity(), cap0, "pre-sized writer grew its buffer");
+        assert_eq!(w.len(), encoded_len(t.len(), t.natoms()));
+        assert_eq!(w.into_bytes(), write_xtcf(&t).unwrap());
+    }
+
+    #[test]
+    fn with_capacity_zero_frames_matches_header() {
+        let w = XtcfWriter::with_capacity(0, 0);
+        assert_eq!(w.capacity(), XTCF_HEADER_LEN);
+        assert!(w.is_empty());
     }
 
     #[test]

@@ -8,12 +8,11 @@
 //! remains available for the fine-grained queries of §4.1 and for the
 //! future-work configurable taxonomy (see [`crate::category::Taxonomy`]).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Coarse molecular class of a residue/atom.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Category {
     /// Amino-acid residues — the paper's *active* data.
     Protein,
@@ -144,7 +143,7 @@ pub const NUCLEIC_RESIDUES: &[&str] = &[
 /// A short label attached to a data subset by the labeler ("**p**" and
 /// "**m**" in the paper). Tags are small ASCII strings; comparisons are
 /// case-sensitive byte comparisons.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Tag(String);
 
 impl Tag {
@@ -188,14 +187,14 @@ impl From<&str> for Tag {
 /// structure of his raw data in a configuration file", §6). A taxonomy is a
 /// list of rules evaluated in order; the first match wins, with a default
 /// tag for everything unmatched.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Taxonomy {
     rules: Vec<TaxonomyRule>,
     default_tag: Tag,
 }
 
 /// One rule of a [`Taxonomy`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TaxonomyRule {
     /// Residue names this rule matches (uppercased).
     pub residues: Vec<String>,

@@ -2,13 +2,12 @@
 //! the stack needs: mass (memory/size accounting sanity checks) and covalent
 //! radius (bond inference in the renderer).
 
-use serde::{Deserialize, Serialize};
 
 /// Chemical element of an atom.
 ///
 /// Only elements that actually occur in MD systems of the GPCR kind are
 /// enumerated; everything else maps to [`Element::Other`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Element {
     H,
     C,

@@ -6,10 +6,9 @@
 //! distances for rectangular boxes, but the type keeps the full matrix so
 //! real triclinic XTC headers round-trip losslessly.
 
-use serde::{Deserialize, Serialize};
 
 /// A periodic simulation box described by three box vectors (rows).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PbcBox {
     /// Row-major box vectors in nanometres: `m[i]` is box vector *i*.
     pub m: [[f32; 3]; 3],

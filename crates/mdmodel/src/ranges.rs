@@ -5,7 +5,6 @@
 //! a normalized (sorted, disjoint, coalesced) set of half-open ranges over
 //! `usize` indices, with the set operations the indexer and splitter need.
 
-use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
 /// A normalized set of half-open index ranges.
@@ -25,7 +24,7 @@ use std::ops::Range;
 /// assert_eq!(subset.len(), 150);
 /// assert_eq!(subset[100], 150); // second run starts at index 150
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IndexRanges {
     /// Invariant: sorted by start, non-empty, non-overlapping, and
     /// non-adjacent (adjacent ranges are coalesced).
@@ -195,10 +194,22 @@ impl IndexRanges {
     /// core operation: extracting a tagged subset of per-atom data).
     pub fn gather<T: Copy>(&self, source: &[T]) -> Vec<T> {
         let mut out = Vec::with_capacity(self.count());
+        self.gather_into(source, &mut out);
+        out
+    }
+
+    /// Gather into a caller-owned buffer, clearing it first.
+    ///
+    /// Equivalent to [`gather`](Self::gather) but reuses `out`'s
+    /// allocation, so a loop gathering once per frame performs no heap
+    /// allocation after the first iteration. Ranges extending past
+    /// `source` are clamped, exactly as in `gather`.
+    pub fn gather_into<T: Copy>(&self, source: &[T], out: &mut Vec<T>) {
+        out.clear();
+        out.reserve(self.count());
         for r in &self.ranges {
             out.extend_from_slice(&source[r.start.min(source.len())..r.end.min(source.len())]);
         }
-        out
     }
 
     /// Scatter `values` (one per covered index, ascending) into `dest`.
@@ -309,6 +320,49 @@ mod tests {
         }
     }
 
+    #[test]
+    fn gather_into_matches_gather() {
+        let data: Vec<u32> = (0..20).collect();
+        let sel = IndexRanges::from_ranges([2..5, 9..12, 19..20]);
+        let mut buf = Vec::new();
+        sel.gather_into(&data, &mut buf);
+        assert_eq!(buf, sel.gather(&data));
+    }
+
+    #[test]
+    fn gather_into_clears_and_reuses_buffer() {
+        let data: Vec<u32> = (0..50).collect();
+        let big = IndexRanges::single(0..50);
+        let small = IndexRanges::single(10..13);
+        let mut buf = Vec::new();
+        big.gather_into(&data, &mut buf);
+        assert_eq!(buf.len(), 50);
+        let cap = buf.capacity();
+        // A smaller gather reuses the larger allocation (no realloc, stale
+        // contents gone).
+        small.gather_into(&data, &mut buf);
+        assert_eq!(buf, vec![10, 11, 12]);
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
+    fn gather_into_empty_ranges_yields_empty() {
+        let data: Vec<u32> = (0..10).collect();
+        let mut buf = vec![99u32; 4];
+        IndexRanges::new().gather_into(&data, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn gather_into_clamps_past_source_end() {
+        let data: Vec<u32> = (0..10).collect();
+        let sel = IndexRanges::from_ranges([5..8, 9..30]);
+        let mut buf = Vec::new();
+        sel.gather_into(&data, &mut buf);
+        assert_eq!(buf, sel.gather(&data));
+        assert_eq!(buf, vec![5, 6, 7, 9]);
+    }
+
     fn arb_ranges(max: usize) -> impl Strategy<Value = IndexRanges> {
         prop::collection::vec((0..max, 0..max), 0..12).prop_map(|pairs| {
             IndexRanges::from_ranges(
@@ -377,6 +431,28 @@ mod tests {
             let g = a.gather(&data);
             let expect: Vec<usize> = a.iter_indices().collect();
             prop_assert_eq!(g, expect);
+        }
+
+        #[test]
+        fn prop_gather_into_equals_gather(a in arb_ranges(120), src_len in 0usize..120) {
+            // Source may be shorter than the selection's end: both paths
+            // must clamp identically.
+            let data: Vec<usize> = (0..src_len).collect();
+            let mut buf = vec![777usize; 5];
+            a.gather_into(&data, &mut buf);
+            prop_assert_eq!(buf, a.gather(&data));
+        }
+
+        #[test]
+        fn prop_gather_into_scatter_roundtrip(a in arb_ranges(60)) {
+            let data: Vec<usize> = (100..160).collect();
+            let mut buf = Vec::new();
+            a.gather_into(&data, &mut buf);
+            let mut dest = vec![0usize; 60];
+            a.scatter(&buf, &mut dest);
+            for i in a.iter_indices() {
+                prop_assert_eq!(dest[i], data[i]);
+            }
         }
     }
 }

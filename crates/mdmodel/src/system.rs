@@ -4,12 +4,11 @@ use crate::category::{Category, Tag, Taxonomy};
 use crate::element::Element;
 use crate::pbc::PbcBox;
 use crate::ranges::IndexRanges;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One atom of the topology (coordinates live in trajectory frames, not
 /// here; the PDB's reference coordinates are stored on [`MolecularSystem`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Atom {
     /// PDB serial number (1-based in files; preserved verbatim).
     pub serial: u32,
@@ -35,7 +34,7 @@ impl Atom {
 }
 
 /// A contiguous run of atoms forming one residue.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Residue {
     /// Residue name.
     pub name: String,
@@ -68,7 +67,7 @@ impl Residue {
 
 /// A complete molecular system: topology plus the reference coordinates of
 /// the structure file.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MolecularSystem {
     /// Human-readable title (PDB TITLE/HEADER).
     pub title: String,

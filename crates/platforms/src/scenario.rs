@@ -1,6 +1,5 @@
 //! The Table 3 notation as a type.
 
-use serde::{Deserialize, Serialize};
 
 /// One evaluated configuration (Table 3).
 ///
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// * `D` — VMD loads a raw XTC file without compression.
 /// * `ADA (all)` — ADA transfers the entire (decompressed) raw data.
 /// * `ADA (protein)` — ADA transfers only the protein data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scenario {
     /// Traditional FS, compressed load (C-ext4 / C-PVFS / XFS).
     CTraditional,

@@ -1,9 +1,9 @@
 //! Container structures, droppings and the index.
 
+use ada_json::Value;
 use ada_simfs::{Content, FsError, SimFileSystem};
 use ada_storagesim::SimDuration;
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -53,7 +53,7 @@ impl std::fmt::Display for PlfsError {
 impl std::error::Error for PlfsError {}
 
 /// One index entry: where a contiguous logical extent physically lives.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IndexRecord {
     /// Logical byte offset within the logical file.
     pub logical_offset: u64,
@@ -67,7 +67,29 @@ pub struct IndexRecord {
     pub dropping_path: String,
 }
 
-#[derive(Debug, Default, Serialize, Deserialize)]
+impl IndexRecord {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("logical_offset", Value::num_u(self.logical_offset)),
+            ("len", Value::num_u(self.len)),
+            ("tag", Value::str(self.tag.clone())),
+            ("backend", Value::str(self.backend.clone())),
+            ("dropping_path", Value::str(self.dropping_path.clone())),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<IndexRecord, ada_json::JsonError> {
+        Ok(IndexRecord {
+            logical_offset: v.field("logical_offset")?.as_u64()?,
+            len: v.field("len")?.as_u64()?,
+            tag: v.field("tag")?.as_str()?.to_string(),
+            backend: v.field("backend")?.as_str()?.to_string(),
+            dropping_path: v.field("dropping_path")?.as_str()?.to_string(),
+        })
+    }
+}
+
+#[derive(Debug, Default)]
 struct ContainerIndex {
     records: Vec<IndexRecord>,
     next_seq: u64,
@@ -346,7 +368,7 @@ impl ContainerSet {
             let idx = g
                 .get(logical)
                 .ok_or_else(|| PlfsError::NoSuchLogical(logical.to_string()))?;
-            serde_json::to_vec(&idx.records).expect("index serializes")
+            Value::Arr(idx.records.iter().map(IndexRecord::to_json).collect()).to_vec()
         };
         let (mnt, fs) = &self.backends[0];
         let path = format!("{}/{}/hostdir.0/index", mnt, logical);
@@ -366,7 +388,8 @@ impl ContainerSet {
         let bytes = content
             .as_real()
             .ok_or_else(|| PlfsError::CorruptIndex("index is synthetic".into()))?;
-        let records: Vec<IndexRecord> = serde_json::from_slice(bytes)
+        let records: Vec<IndexRecord> = ada_json::parse(bytes)
+            .and_then(|v| v.as_arr()?.iter().map(IndexRecord::from_json).collect())
             .map_err(|e| PlfsError::CorruptIndex(e.to_string()))?;
         let logical_len = records.iter().map(|r| r.logical_offset + r.len).max().unwrap_or(0);
         let next_seq = records.len() as u64;

@@ -12,10 +12,9 @@
 //! reproduced curves match the published hardware.
 
 use crate::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// CPU parameters of a node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuProfile {
     /// Marketing name.
     pub name: String,

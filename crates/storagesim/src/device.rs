@@ -6,10 +6,9 @@
 //! [`SimClock`](crate::SimClock) as serial or parallel composition demands.
 
 use crate::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Static parameters of a device class.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceProfile {
     /// Human-readable model name.
     pub name: String,

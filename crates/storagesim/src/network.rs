@@ -5,10 +5,9 @@
 //! transfers cost `latency + bytes/bandwidth`.
 
 use crate::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// A point-to-point network link.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Link {
     /// Name for reports.
     pub name: String,

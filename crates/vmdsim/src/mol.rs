@@ -188,6 +188,9 @@ impl VmdSession {
     pub fn render_reps(&self, id: MolId, frame_idx: usize, opts: &RenderOptions) -> Vec<RenderStats> {
         let mol = &self.molecules[id.0];
         let frame = &mol.frames[frame_idx];
+        // One coordinate buffer reused across reps (gather_into), instead
+        // of a fresh allocation per rep.
+        let mut sub_coords: Vec<[f32; 3]> = Vec::new();
         mol.reps
             .iter()
             .map(|rep| {
@@ -200,7 +203,7 @@ impl VmdSession {
                     };
                 }
                 let sub_sys = mol.system.subset(&rep.atoms);
-                let sub_coords = rep.atoms.gather(&frame.coords);
+                rep.atoms.gather_into(&frame.coords, &mut sub_coords);
                 // Remap bonds into the subset's index space.
                 let index_map: std::collections::HashMap<usize, u32> = rep
                     .atoms

@@ -1,0 +1,275 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! A wall-clock micro-benchmark harness with criterion's API shape:
+//! groups, `bench_function`/`bench_with_input`, `Throughput`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros.
+//! It warms up, runs timed samples, and prints mean time per iteration
+//! (plus derived throughput) — no statistics engine, no HTML reports,
+//! no comparison to saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: stops the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark name (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", name, parameter) }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// Mean seconds per iteration, filled in by `iter`.
+    mean_secs: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Size each sample so sample_size samples fill the measurement window.
+        let budget = self.measurement.as_secs_f64() / self.sample_size.max(1) as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-12)) as u64).clamp(1, 1_000_000);
+
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            total += t0.elapsed();
+            total_iters += iters_per_sample;
+        }
+        self.mean_secs = total.as_secs_f64() / total_iters.max(1) as f64;
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{:.3} s", secs)
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{}/s", per_sec / 1e9, unit)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{}/s", per_sec / 1e6, unit)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{}/s", per_sec / 1e3, unit)
+    } else {
+        format!("{:.1} {}/s", per_sec, unit)
+    }
+}
+
+/// A named group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    parent: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total sampling duration target.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Throughput reported alongside mean time for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            mean_secs: 0.0,
+        };
+        f(&mut b);
+        let mut line = format!("{}/{}: {}", self.name, id, fmt_time(b.mean_secs));
+        if b.mean_secs > 0.0 {
+            match self.throughput {
+                Some(Throughput::Elements(n)) => {
+                    line.push_str(&format!("  ({})", fmt_rate(n as f64 / b.mean_secs, "elem")));
+                }
+                Some(Throughput::Bytes(n)) => {
+                    line.push_str(&format!("  ({})", fmt_rate(n as f64 / b.mean_secs, "B")));
+                }
+                None => {}
+            }
+        }
+        println!("{}", line);
+        self.parent.results.push((format!("{}/{}", self.name, id), b.mean_secs));
+    }
+
+    /// Benchmark a closure under `name`.
+    pub fn bench_function<N: std::fmt::Display, F: FnMut(&mut Bencher)>(&mut self, name: N, f: F) -> &mut Self {
+        self.run(name.to_string(), f);
+        self
+    }
+
+    /// Benchmark a closure that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, N: std::fmt::Display, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        name: N,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(name.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op beyond criterion API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// `(full name, mean seconds per iteration)` for every finished bench.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group<N: std::fmt::Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        println!("-- group {} --", name);
+        BenchmarkGroup {
+            name,
+            parent: self,
+            throughput: None,
+            sample_size: 10,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group(name.to_string());
+        g.bench_function("bench", f);
+        g.finish();
+        self
+    }
+}
+
+/// Collect benchmark functions into a runner, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_positive_mean() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(2);
+            g.warm_up_time(Duration::from_millis(5));
+            g.measurement_time(Duration::from_millis(10));
+            g.throughput(Throughput::Bytes(1024));
+            g.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+            g.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results.iter().all(|(_, s)| *s > 0.0));
+        assert_eq!(c.results[0].0, "t/spin");
+        assert_eq!(c.results[1].0, "t/with_input/7");
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("a", 3).to_string(), "a/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,527 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Implements the subset this repository's property tests use: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`/`prop_filter`,
+//! numeric-range and tuple strategies, `prop::collection::vec`,
+//! `prop::array::uniform3`, `prop::sample::select`, [`any`], and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! per-test seed (fully deterministic, no `PROPTEST_CASES` env handling)
+//! and failing inputs are **not shrunk** — the failing value is printed
+//! as-is. That trade keeps the vendored crate small while preserving the
+//! bug-finding power of the random sweep.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed test case (what `prop_assert!` returns).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Deterministic per-test RNG (seeded from the test name).
+pub fn test_rng(name: &str) -> TestRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A value generator. Unlike real proptest there is no shrinking tree;
+/// `generate` directly yields a value.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one random value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (rejection sampling).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, reason, pred }
+    }
+
+    /// Generate vectors of values from this strategy (method alias used by
+    /// some call styles; the free function is `prop::collection::vec`).
+    fn prop_vec(self, len: Range<usize>) -> collection::VecStrategy<Self>
+    where
+        Self: Sized,
+    {
+        collection::vec(self, len)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 10000 consecutive values", self.reason);
+    }
+}
+
+/// A constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i16, i32, i64, f32, f64);
+
+macro_rules! impl_range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                if hi < <$t>::MAX {
+                    rng.gen_range(lo..hi + 1)
+                } else if lo > <$t>::MIN {
+                    rng.gen_range(lo - 1..hi) + 1
+                } else {
+                    // Full domain.
+                    rng.gen_range(<$t>::MIN..<$t>::MAX)
+                }
+            }
+        }
+    )*};
+}
+impl_range_inclusive_strategy!(u8, u16, u32, u64, usize, i16, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)*)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// Types with a canonical "whole domain" strategy (the [`any`] function).
+pub trait Arbitrary: Sized {
+    /// Strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The whole-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Whole-domain strategy for primitives.
+pub struct AnyPrimitive<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+impl_any_int!(u8, u16, u32, u64, i8, i16, i32, i64, usize);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive { _marker: std::marker::PhantomData }
+    }
+}
+
+impl Strategy for AnyPrimitive<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        rng.gen_range(-1.0e6..1.0e6f32)
+    }
+}
+
+impl Arbitrary for f32 {
+    type Strategy = AnyPrimitive<f32>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive { _marker: std::marker::PhantomData }
+    }
+}
+
+/// The whole-domain strategy of `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Namespaced strategy constructors, mirroring `proptest::prop`.
+pub mod prop {
+    pub use super::collection;
+    pub use super::array;
+    pub use super::sample;
+}
+
+/// `prop::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Vectors with strategy-generated elements and a random length.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vector strategy over `element` with length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `prop::array`.
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    /// `[T; 3]` with each element from the same strategy.
+    pub struct Uniform3<S>(S);
+
+    /// Three independent draws from `element`.
+    pub fn uniform3<S: Strategy>(element: S) -> Uniform3<S> {
+        Uniform3(element)
+    }
+
+    impl<S: Strategy> Strategy for Uniform3<S> {
+        type Value = [S::Value; 3];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; 3] {
+            [
+                self.0.generate(rng),
+                self.0.generate(rng),
+                self.0.generate(rng),
+            ]
+        }
+    }
+}
+
+/// `prop::sample`.
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Uniform choice from a fixed list.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Choose uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select over empty options");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+}
+
+/// Everything a property test module imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Assert inside a property (returns `Err` instead of panicking so the
+/// runner can report the failing case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond), format!($($fmt)*), file!(), line!()
+            )));
+        }
+    };
+}
+
+/// `assert_eq!` for properties.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?} at {}:{}",
+                stringify!($left), stringify!($right), l, r, file!(), line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?} at {}:{}",
+                stringify!($left), stringify!($right), format!($($fmt)*), l, r, file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` for properties.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: `{} != {}`\n  both: {:?} at {}:{}",
+                stringify!($left), stringify!($right), l, file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// Bind one property parameter, then recurse into the rest of the list.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($rng:ident; () ; $body:block) => {{
+        #[allow(unused_mut)]
+        let mut run = || -> ::std::result::Result<(), $crate::TestCaseError> {
+            $body
+            ::std::result::Result::Ok(())
+        };
+        run()
+    }};
+    ($rng:ident; (mut $name:ident : $ty:ty $(, $($rest:tt)*)?) ; $body:block) => {{
+        #[allow(unused_mut)]
+        let mut $name: $ty =
+            $crate::Strategy::generate(&<$ty as $crate::Arbitrary>::arbitrary(), &mut $rng);
+        $crate::__proptest_body!($rng; ($($($rest)*)?) ; $body)
+    }};
+    ($rng:ident; ($name:ident : $ty:ty $(, $($rest:tt)*)?) ; $body:block) => {{
+        let $name: $ty =
+            $crate::Strategy::generate(&<$ty as $crate::Arbitrary>::arbitrary(), &mut $rng);
+        $crate::__proptest_body!($rng; ($($($rest)*)?) ; $body)
+    }};
+    ($rng:ident; (mut $name:ident in $strat:expr $(, $($rest:tt)*)?) ; $body:block) => {{
+        #[allow(unused_mut)]
+        let mut $name = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_body!($rng; ($($($rest)*)?) ; $body)
+    }};
+    ($rng:ident; ($name:ident in $strat:expr $(, $($rest:tt)*)?) ; $body:block) => {{
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_body!($rng; ($($($rest)*)?) ; $body)
+    }};
+}
+
+/// Expand the test functions of a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr; ) => {};
+    ($cfg:expr; $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(concat!(file!(), "::", stringify!($name)));
+            for __case in 0..cfg.cases {
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    $crate::__proptest_body!(__rng; ($($params)*) ; $body);
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("proptest '{}' case {}/{} failed: {}", stringify!($name), __case + 1, cfg.cases, e);
+                }
+            }
+        }
+        $crate::__proptest_fns!{$cfg; $($rest)*}
+    };
+}
+
+/// The property-test macro: each `fn name(x in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{$cfg; $($rest)*}
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{$crate::ProptestConfig::default(); $($rest)*}
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_are_deterministic() {
+        let mut a = crate::test_rng("t");
+        let mut b = crate::test_rng("t");
+        let s = prop::collection::vec(0u32..100, 1..10);
+        for _ in 0..20 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn filter_and_map_compose() {
+        let mut rng = crate::test_rng("fm");
+        let s = (0usize..100)
+            .prop_map(|x| x * 2)
+            .prop_filter("nonzero", |&x| x > 0);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v > 0 && v % 2 == 0 && v < 200);
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_bounds() {
+        let mut rng = crate::test_rng("ir");
+        let s = 1u32..=3;
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3] && !seen[0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_binds_params(x in 0usize..50, mut v in prop::collection::vec(any::<u8>(), 0..8)) {
+            v.push(0);
+            prop_assert!(x < 50);
+            prop_assert_eq!(v.last().copied(), Some(0));
+        }
+
+        #[test]
+        fn tuple_and_array_strategies(t in (0u32..4, prop::array::uniform3(-1.0f32..1.0)),
+                                      pick in prop::sample::select(vec![7u8, 9])) {
+            prop_assert!(t.0 < 4);
+            prop_assert!(t.1.iter().all(|c| (-1.0..1.0).contains(c)));
+            prop_assert!(pick == 7 || pick == 9);
+        }
+    }
+}

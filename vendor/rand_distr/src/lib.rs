@@ -1,0 +1,113 @@
+//! Offline stand-in for the `rand_distr` crate (see `vendor/README.md`).
+//!
+//! Provides the [`Normal`] distribution (Box–Muller) used by the workload
+//! motion model, generic over `f32`/`f64` like the real crate so that
+//! `Normal::new(0.0f32, 1.0f32)` infers its float type.
+
+use rand::Rng;
+
+/// Types that produce samples of `T` given a generator.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid normal distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Float types [`Normal`] is generic over.
+pub trait Float: Copy {
+    /// Widen to `f64` (sampling math runs in `f64`).
+    fn to_f64(self) -> f64;
+    /// Narrow from `f64`.
+    fn from_f64(v: f64) -> Self;
+}
+
+impl Float for f32 {
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn from_f64(v: f64) -> f32 {
+        v as f32
+    }
+}
+
+impl Float for f64 {
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn from_f64(v: f64) -> f64 {
+        v
+    }
+}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Construct; fails on non-finite or negative standard deviation.
+    pub fn new(mean: F, std_dev: F) -> Result<Normal<F>, NormalError> {
+        let (m, s) = (mean.to_f64(), std_dev.to_f64());
+        if !m.is_finite() || !s.is_finite() || s < 0.0 {
+            return Err(NormalError);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        // Box–Muller: two uniforms to one gaussian (the sibling draw is
+        // discarded — throughput is irrelevant for workload synthesis).
+        let u1 = rng.gen_f64().max(f64::MIN_POSITIVE);
+        let u2 = rng.gen_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_close() {
+        let normal = Normal::new(2.0f32, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f32>() / n as f32;
+        assert!((mean - 2.0).abs() < 0.1, "mean {}", mean);
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn f64_infers_too() {
+        let normal = Normal::new(0.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let _: f64 = normal.sample(&mut rng);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(f32::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0f32, 0.0).is_ok());
+    }
+}
