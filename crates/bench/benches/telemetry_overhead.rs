@@ -1,0 +1,88 @@
+//! Telemetry overhead budget: the same instrumented split hot loop with
+//! telemetry enabled vs `set_enabled(false)`.
+//!
+//! The loop is the serial splitter wrapped in a `span!` that records
+//! bytes/frames — exactly the shape `Ada::ingest` uses. With telemetry
+//! disabled every record site collapses to a relaxed load + branch, so
+//! the enabled/disabled delta IS the telemetry cost.
+//!
+//! The <2 % regression assertion is off by default (Criterion wall-clock
+//! noise on shared CI would flake it); opt in with
+//! `ADA_TELEMETRY_OVERHEAD_ASSERT=1 cargo bench -p ada-bench --bench
+//! telemetry_overhead`.
+
+use ada_core::{categorize_algo1, split_trajectory_serial, Labeler};
+use ada_mdformats::Trajectory;
+use ada_mdmodel::category::Taxonomy;
+use ada_telemetry::span;
+use ada_workload::gpcr_workload;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
+
+fn split_instrumented(traj: &Trajectory, labeler: &Labeler) -> u64 {
+    let mut s = span!("bench.split");
+    let out = split_trajectory_serial(traj, labeler).unwrap();
+    s.add_bytes(out.raw_bytes);
+    s.add_frames(traj.len() as u64);
+    out.raw_bytes
+}
+
+/// Mean ns per instrumented split over `reps` runs.
+fn measure(traj: &Trajectory, labeler: &Labeler, reps: u32) -> f64 {
+    let t = Instant::now();
+    for _ in 0..reps {
+        black_box(split_instrumented(traj, labeler));
+    }
+    t.elapsed().as_nanos() as f64 / f64::from(reps)
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let w = gpcr_workload(20_000, 6, 5);
+    let labeler = categorize_algo1(&w.system, &Taxonomy::paper_default());
+
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.throughput(Throughput::Bytes(w.trajectory.nbytes() as u64));
+
+    ada_telemetry::set_enabled(true);
+    g.bench_function("split_telemetry_enabled", |b| {
+        b.iter(|| split_instrumented(&w.trajectory, &labeler))
+    });
+    ada_telemetry::set_enabled(false);
+    g.bench_function("split_telemetry_disabled", |b| {
+        b.iter(|| split_instrumented(&w.trajectory, &labeler))
+    });
+    ada_telemetry::set_enabled(true);
+    g.finish();
+
+    if std::env::var("ADA_TELEMETRY_OVERHEAD_ASSERT").as_deref() == Ok("1") {
+        // Interleave the two modes so drift hits both equally; warm up first.
+        let (reps, rounds) = (8, 5);
+        measure(&w.trajectory, &labeler, reps);
+        let (mut on, mut off) = (0.0, 0.0);
+        for _ in 0..rounds {
+            ada_telemetry::set_enabled(true);
+            on += measure(&w.trajectory, &labeler, reps);
+            ada_telemetry::set_enabled(false);
+            off += measure(&w.trajectory, &labeler, reps);
+        }
+        ada_telemetry::set_enabled(true);
+        let overhead = on / off - 1.0;
+        println!(
+            "telemetry overhead on split loop: {:+.3}% (enabled {:.2} ms, disabled {:.2} ms)",
+            overhead * 100.0,
+            on / 1e6 / f64::from(rounds),
+            off / 1e6 / f64::from(rounds),
+        );
+        assert!(
+            overhead < 0.02,
+            "telemetry overhead {:.3}% exceeds the 2% budget",
+            overhead * 100.0
+        );
+    }
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -13,7 +13,19 @@ use ada_platforms::Platform;
 use ada_vmdsim::{render_frame, RenderOptions};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--metrics-out <path>`: after all requested items ran, write the
+    // global telemetry snapshot (counters, gauges, histograms) as JSON.
+    let mut metrics_out: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--metrics-out") {
+        args.remove(i);
+        if i < args.len() {
+            metrics_out = Some(args.remove(i));
+        } else {
+            eprintln!("--metrics-out needs a path argument");
+            std::process::exit(2);
+        }
+    }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig7", "fig8",
@@ -51,8 +63,16 @@ fn main() {
             "amortization" => print_amortization(),
             "contention" => print_contention(),
             "bench-ingest" => bench_ingest(),
+            "profile-ingest" => profile_ingest(),
             other => eprintln!("unknown item '{}'", other),
         }
+    }
+
+    if let Some(path) = metrics_out {
+        ada_telemetry::flush();
+        let snap = ada_telemetry::global().snapshot();
+        std::fs::write(&path, snap.to_json().to_vec()).expect("write metrics snapshot");
+        eprintln!("wrote metrics snapshot to {}", path);
     }
 }
 
@@ -586,6 +606,21 @@ fn bench_ingest() {
         )
     );
 
+    // One measured run per mode for the telemetry section: real per-stage
+    // busy times and queue high-water marks of exactly this workload.
+    let serial_profile = ada_with(1, 1)
+        .ingest_streaming("bench", &pdb_text, &xtc_bytes, 128)
+        .unwrap()
+        .profile;
+    let pipelined_profile = ada_with(cores.min(4), 2)
+        .ingest_streaming("bench", &pdb_text, &xtc_bytes, 128)
+        .unwrap()
+        .profile;
+    let profile_json = |p: Option<ada_core::StageProfile>| match p {
+        Some(p) => p.to_json(),
+        None => Value::Null,
+    };
+
     let json = Value::obj(vec![
         ("workload", Value::obj(vec![
             ("natoms", Value::num_u(w.system.len() as u64)),
@@ -609,7 +644,111 @@ fn bench_ingest() {
                     .collect(),
             ),
         ),
+        (
+            "profile",
+            Value::obj(vec![
+                ("serial", profile_json(serial_profile)),
+                ("pipelined", profile_json(pipelined_profile)),
+            ]),
+        ),
     ]);
     std::fs::write("BENCH_ingest.json", json.to_vec()).expect("write BENCH_ingest.json");
     println!("  wrote BENCH_ingest.json\n");
+}
+
+/// `repro profile-ingest` — answer "is decode, split, or dispatch the
+/// wall-clock ceiling?" with measured telemetry: run the serial and the
+/// pipelined ingest over the same workload, print each stage's busy time
+/// and share, and write the machine-readable PROFILE_ingest.json.
+fn profile_ingest() {
+    use ada_core::{Ada, AdaConfig, IngestInput, StageProfile};
+    use ada_json::Value;
+    use ada_mdformats::write_pdb;
+    use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
+    use ada_plfs::ContainerSet;
+    use ada_simfs::{LocalFs, SimFileSystem};
+    use std::sync::Arc;
+
+    fn fresh_ada() -> Ada {
+        let ssd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_nvme());
+        let hdd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_hdd());
+        let containers = Arc::new(ContainerSet::new(vec![
+            ("ssd".into(), ssd.clone()),
+            ("hdd".into(), hdd),
+        ]));
+        Ada::new(AdaConfig::paper_prototype("ssd", "hdd"), containers, ssd)
+    }
+
+    let w = ada_workload::gpcr_workload(2_000, 500, 7);
+    let pdb_text = write_pdb(&w.system);
+    let xtc_bytes = write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap();
+
+    let serial = fresh_ada()
+        .ingest("profiled", IngestInput::Real {
+            pdb_text: pdb_text.clone(),
+            xtc_bytes: xtc_bytes.clone(),
+        })
+        .unwrap()
+        .profile
+        .expect("telemetry must be enabled for profile-ingest");
+    let pipelined = fresh_ada()
+        .ingest_streaming("profiled", &pdb_text, &xtc_bytes, 64)
+        .unwrap()
+        .profile
+        .expect("telemetry must be enabled for profile-ingest");
+
+    let print_profile = |p: &StageProfile| {
+        let rows: Vec<Vec<String>> = p
+            .stages_ns
+            .iter()
+            .map(|(stage, ns)| {
+                vec![
+                    stage.clone(),
+                    format!("{:.2}", *ns as f64 / 1e6),
+                    format!("{:.1}%", p.stage_share(stage) * 100.0),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            format_table(
+                &format!(
+                    "Ingest stage attribution — {} mode ({:.2} ms wall)",
+                    p.mode,
+                    p.wall_ns as f64 / 1e6
+                ),
+                &["stage", "busy time (ms)", "share of wall"],
+                &rows
+            )
+        );
+        if let Some((stage, ns)) = p.bottleneck() {
+            println!(
+                "  bottleneck: {} ({:.2} ms busy) — the stage the pipeline cannot hide",
+                stage,
+                ns as f64 / 1e6
+            );
+        }
+        if !p.queue_hwm.is_empty() {
+            let hwm: Vec<String> = p
+                .queue_hwm
+                .iter()
+                .map(|(q, v)| format!("{}={}", q, v))
+                .collect();
+            println!("  queue high-water marks (batches): {}", hwm.join(", "));
+        }
+        println!();
+    };
+    print_profile(&serial);
+    print_profile(&pipelined);
+
+    let json = Value::obj(vec![
+        ("workload", Value::obj(vec![
+            ("natoms", Value::num_u(w.system.len() as u64)),
+            ("nframes", Value::num_u(w.trajectory.len() as u64)),
+        ])),
+        ("serial", serial.to_json()),
+        ("pipelined", pipelined.to_json()),
+    ]);
+    std::fs::write("PROFILE_ingest.json", json.to_vec()).expect("write PROFILE_ingest.json");
+    println!("  wrote PROFILE_ingest.json\n");
 }

@@ -38,23 +38,15 @@ pub struct PreprocessOutput {
     pub raw_bytes: u64,
 }
 
-/// Tuning knobs for [`split_trajectory_opts`].
-#[derive(Debug, Clone, Copy)]
+/// Tuning knobs for [`split_trajectory_opts`]. The default (zeros) means
+/// one worker per available core with automatic chunking.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SplitOptions {
     /// Worker threads; 0 means one per available core.
     pub threads: usize,
     /// Frames per work cell; 0 picks a chunk size that yields a few
     /// cells per worker (load balance without stitch overhead).
     pub chunk_frames: usize,
-}
-
-impl Default for SplitOptions {
-    fn default() -> SplitOptions {
-        SplitOptions {
-            threads: 0,
-            chunk_frames: 0,
-        }
-    }
 }
 
 impl SplitOptions {

@@ -1,0 +1,139 @@
+//! Stage-attribution profiles: where did the wall-clock go?
+//!
+//! The simulated [`IngestReport`](crate::IngestReport) durations model the
+//! paper's storage node; a [`StageProfile`] is the *measured* counterpart —
+//! real wall time this process spent in each pipeline stage, queue
+//! high-water marks of the streaming channels, and per-tag routed bytes.
+//! `repro profile-ingest` serializes these to answer the ROADMAP question
+//! ("is decode, split, or dispatch the wall-clock ceiling?") and
+//! `BENCH_ingest.json` embeds them so benchmark numbers are
+//! self-explaining.
+//!
+//! Stage times are **busy** times: in the pipelined path the decoder,
+//! splitter pool, and dispatcher overlap, so stage times legitimately sum
+//! to more than `wall_ns`. The bottleneck is the stage with the largest
+//! busy time — the one the pipeline cannot hide.
+
+use ada_json::Value;
+use std::collections::BTreeMap;
+
+/// Measured wall-clock attribution of one ingest or query call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageProfile {
+    /// Which code path produced this (`"serial"`, `"pipelined"`,
+    /// `"guided"`, `"synthetic"`, `"query"`).
+    pub mode: String,
+    /// Per-stage busy wall time, nanoseconds.
+    pub stages_ns: BTreeMap<String, u64>,
+    /// High-water mark of each bounded inter-stage channel (batches).
+    pub queue_hwm: BTreeMap<String, u64>,
+    /// Bytes routed (ingest) or delivered (query) per tag.
+    pub bytes_by_tag: BTreeMap<String, u64>,
+    /// End-to-end wall time of the call, nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl StageProfile {
+    /// New profile for a code path.
+    pub fn new(mode: &str) -> StageProfile {
+        StageProfile {
+            mode: mode.to_string(),
+            ..StageProfile::default()
+        }
+    }
+
+    /// Record a stage's busy time (accumulates on repeat).
+    pub fn add_stage_ns(&mut self, stage: &str, ns: u64) {
+        *self.stages_ns.entry(stage.to_string()).or_insert(0) += ns;
+    }
+
+    /// The stage with the largest busy time — the pipeline's wall-clock
+    /// ceiling. `None` for an empty profile.
+    pub fn bottleneck(&self) -> Option<(&str, u64)> {
+        self.stages_ns
+            .iter()
+            .max_by_key(|(_, ns)| **ns)
+            .map(|(k, ns)| (k.as_str(), *ns))
+    }
+
+    /// Fraction of the wall time a stage was busy (0.0 when unknown).
+    pub fn stage_share(&self, stage: &str) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.stages_ns.get(stage).copied().unwrap_or(0) as f64 / self.wall_ns as f64
+    }
+
+    /// Machine-readable form:
+    /// `{"mode", "wall_ns", "bottleneck", "stages_ns": {..},
+    ///   "queue_high_water": {..}, "bytes_by_tag": {..}}`.
+    pub fn to_json(&self) -> Value {
+        let map = |m: &BTreeMap<String, u64>| {
+            Value::Obj(m.iter().map(|(k, v)| (k.clone(), Value::num_u(*v))).collect())
+        };
+        Value::obj(vec![
+            ("mode", Value::str(self.mode.clone())),
+            ("wall_ns", Value::num_u(self.wall_ns)),
+            (
+                "bottleneck",
+                match self.bottleneck() {
+                    Some((stage, _)) => Value::str(stage),
+                    None => Value::Null,
+                },
+            ),
+            ("stages_ns", map(&self.stages_ns)),
+            ("queue_high_water", map(&self.queue_hwm)),
+            ("bytes_by_tag", map(&self.bytes_by_tag)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottleneck_and_share() {
+        let mut p = StageProfile::new("pipelined");
+        p.add_stage_ns("decode", 600);
+        p.add_stage_ns("split", 250);
+        p.add_stage_ns("split", 150); // accumulates to 400
+        p.add_stage_ns("dispatch", 100);
+        p.wall_ns = 800;
+        assert_eq!(p.bottleneck(), Some(("decode", 600)));
+        assert!((p.stage_share("decode") - 0.75).abs() < 1e-12);
+        assert_eq!(p.stage_share("missing"), 0.0);
+        assert_eq!(StageProfile::new("x").bottleneck(), None);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut p = StageProfile::new("serial");
+        p.add_stage_ns("decode", 10);
+        p.queue_hwm.insert("decoded".into(), 2);
+        p.bytes_by_tag.insert("p".into(), 1024);
+        p.wall_ns = 42;
+        let v = ada_json::parse(&p.to_json().to_vec()).unwrap();
+        assert_eq!(v.field("mode").unwrap().as_str().unwrap(), "serial");
+        assert_eq!(v.field("wall_ns").unwrap().as_u64().unwrap(), 42);
+        assert_eq!(v.field("bottleneck").unwrap().as_str().unwrap(), "decode");
+        assert_eq!(
+            v.field("stages_ns").unwrap().field("decode").unwrap().as_u64().unwrap(),
+            10
+        );
+        assert_eq!(
+            v.field("queue_high_water").unwrap().field("decoded").unwrap().as_u64().unwrap(),
+            2
+        );
+        assert_eq!(
+            v.field("bytes_by_tag").unwrap().field("p").unwrap().as_u64().unwrap(),
+            1024
+        );
+    }
+
+    #[test]
+    fn empty_profile_serializes() {
+        let v = ada_json::parse(&StageProfile::new("query").to_json().to_vec()).unwrap();
+        assert!(matches!(v.field("bottleneck").unwrap(), Value::Null));
+    }
+}

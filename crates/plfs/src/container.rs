@@ -89,6 +89,19 @@ impl IndexRecord {
     }
 }
 
+/// Bump the per-backend container I/O counters
+/// (`plfs.{backend}.{op}.ops` / `.bytes`) — how each mount's share of
+/// dropping traffic reaches metrics snapshots.
+fn count_op(backend: &str, op: &str, bytes: u64) {
+    if ada_telemetry::disabled() {
+        return;
+    }
+    let reg = ada_telemetry::global();
+    let base = format!("plfs.{}.{}", backend, op);
+    reg.counter(&format!("{}.ops", base)).inc();
+    reg.counter(&format!("{}.bytes", base)).add(bytes);
+}
+
 #[derive(Debug, Default)]
 struct ContainerIndex {
     records: Vec<IndexRecord>,
@@ -194,6 +207,7 @@ impl ContainerSet {
         );
         let len = content.len();
         let d = fs.create(&dropping_path, content)?;
+        count_op(backend, "write", len);
         idx.records.push(IndexRecord {
             logical_offset: idx.logical_len,
             len,
@@ -246,6 +260,7 @@ impl ContainerSet {
         for r in records {
             let fs = self.backend(&r.backend)?;
             let (content, d) = fs.read(&r.dropping_path)?;
+            count_op(&r.backend, "read", content.len());
             *per_backend.entry(r.backend.as_str()).or_insert(SimDuration::ZERO) += d;
             parts.push(content);
         }
@@ -297,7 +312,9 @@ impl ContainerSet {
         record: &IndexRecord,
     ) -> Result<(Content, SimDuration), PlfsError> {
         let fs = self.backend(&record.backend)?;
-        Ok(fs.read(&record.dropping_path)?)
+        let (content, d) = fs.read(&record.dropping_path)?;
+        count_op(&record.backend, "read", content.len());
+        Ok((content, d))
     }
 
     /// Bytes stored per backend for `logical` (reporting).

@@ -1,0 +1,283 @@
+//! Pipeline-stage spans.
+//!
+//! A [`SpanGuard`] measures the wall time between its creation and drop
+//! and can carry bytes/frames/tag annotations. Finished spans are pushed
+//! into a **thread-local buffer** and drained to the global registry in
+//! batches, so a hot loop's per-span cost is an `Instant::now` pair and a
+//! `Vec` push — the registry lock is touched once per
+//! [`FLUSH_THRESHOLD`] spans (and when a thread exits).
+//!
+//! Per span named `stage` (with optional tag `t`), draining feeds:
+//!
+//! * histogram `span.stage[.t].ns` — wall-time distribution,
+//! * counter `span.stage[.t].calls`,
+//! * counter `span.stage[.t].bytes` (when annotated),
+//! * counter `span.stage[.t].frames` (when annotated).
+//!
+//! ```
+//! {
+//!     let mut s = ada_telemetry::span!("split", tag = "p");
+//!     s.add_bytes(4096);
+//! } // drop records the span
+//! ada_telemetry::flush();
+//! let snap = ada_telemetry::global().snapshot();
+//! assert!(snap.counters["span.split.p.bytes"] >= 4096);
+//! ```
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// Spans buffered per thread before a drain to the registry.
+pub const FLUSH_THRESHOLD: usize = 256;
+
+/// One finished span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Stage name (`"decode"`, `"split"`, ...).
+    pub name: &'static str,
+    /// Optional tag discriminator (metric name suffix).
+    pub tag: Option<String>,
+    /// Wall time in nanoseconds.
+    pub ns: u64,
+    /// Bytes processed (0 when not annotated).
+    pub bytes: u64,
+    /// Frames processed (0 when not annotated).
+    pub frames: u64,
+}
+
+struct LocalBuf {
+    records: Vec<SpanRecord>,
+}
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        // A worker thread exiting drains whatever it still holds.
+        drain(&mut self.records);
+    }
+}
+
+thread_local! {
+    static BUF: RefCell<LocalBuf> = RefCell::new(LocalBuf {
+        records: Vec::with_capacity(FLUSH_THRESHOLD),
+    });
+}
+
+fn drain(records: &mut Vec<SpanRecord>) {
+    if records.is_empty() {
+        return;
+    }
+    let reg = crate::global();
+    let mut name_buf = String::new();
+    for r in records.drain(..) {
+        name_buf.clear();
+        name_buf.push_str("span.");
+        name_buf.push_str(r.name);
+        if let Some(tag) = &r.tag {
+            name_buf.push('.');
+            name_buf.push_str(tag);
+        }
+        let base_len = name_buf.len();
+        name_buf.push_str(".ns");
+        reg.histogram(&name_buf).record(r.ns);
+        name_buf.truncate(base_len);
+        name_buf.push_str(".calls");
+        reg.counter(&name_buf).inc();
+        if r.bytes > 0 {
+            name_buf.truncate(base_len);
+            name_buf.push_str(".bytes");
+            reg.counter(&name_buf).add(r.bytes);
+        }
+        if r.frames > 0 {
+            name_buf.truncate(base_len);
+            name_buf.push_str(".frames");
+            reg.counter(&name_buf).add(r.frames);
+        }
+    }
+}
+
+/// Drain this thread's buffered spans into the global registry. Call
+/// before taking a [`crate::Registry::snapshot`] on the same thread;
+/// other threads drain on buffer overflow and on exit.
+pub fn flush() {
+    BUF.with(|b| drain(&mut b.borrow_mut().records));
+}
+
+/// Record an already-measured span — for pipeline stages that time
+/// themselves (e.g. to exclude time blocked on a channel from their busy
+/// time). Buffered like guard spans; no-op when telemetry is disabled.
+pub fn record(name: &'static str, tag: Option<String>, ns: u64, bytes: u64, frames: u64) {
+    if crate::disabled() {
+        return;
+    }
+    BUF.with(|b| {
+        let buf = &mut b.borrow_mut().records;
+        buf.push(SpanRecord {
+            name,
+            tag,
+            ns,
+            bytes,
+            frames,
+        });
+        if buf.len() >= FLUSH_THRESHOLD {
+            drain(buf);
+        }
+    });
+}
+
+/// An in-flight span; finishes (and records itself) on drop. Created via
+/// [`crate::span!`] or [`SpanGuard::start`]. When telemetry is disabled
+/// the guard is inert and costs one atomic load.
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// `None` when telemetry was disabled at creation.
+    live: Option<(Instant, SpanRecord)>,
+}
+
+impl SpanGuard {
+    /// Begin a span named `name`.
+    pub fn start(name: &'static str) -> SpanGuard {
+        if crate::disabled() {
+            return SpanGuard { live: None };
+        }
+        SpanGuard {
+            live: Some((
+                Instant::now(),
+                SpanRecord {
+                    name,
+                    tag: None,
+                    ns: 0,
+                    bytes: 0,
+                    frames: 0,
+                },
+            )),
+        }
+    }
+
+    /// Attach a tag; the metric names gain a `.{tag}` suffix.
+    pub fn tag(mut self, tag: impl std::fmt::Display) -> SpanGuard {
+        if let Some((_, r)) = &mut self.live {
+            r.tag = Some(tag.to_string());
+        }
+        self
+    }
+
+    /// Accumulate processed bytes.
+    pub fn add_bytes(&mut self, n: u64) {
+        if let Some((_, r)) = &mut self.live {
+            r.bytes += n;
+        }
+    }
+
+    /// Accumulate processed frames.
+    pub fn add_frames(&mut self, n: u64) {
+        if let Some((_, r)) = &mut self.live {
+            r.frames += n;
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((start, mut rec)) = self.live.take() {
+            rec.ns = start.elapsed().as_nanos() as u64;
+            BUF.with(|b| {
+                let buf = &mut b.borrow_mut().records;
+                buf.push(rec);
+                if buf.len() >= FLUSH_THRESHOLD {
+                    drain(buf);
+                }
+            });
+        }
+    }
+}
+
+/// Open a [`SpanGuard`] for a pipeline stage:
+/// `span!("split")` or `span!("split", tag = tag)`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::start($name)
+    };
+    ($name:expr, tag = $tag:expr) => {
+        $crate::span::SpanGuard::start($name).tag($tag)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span tests share the global registry (and the global enable flag)
+    // with other tests in this binary, so they only assert on metric
+    // names no other test produces and never flip telemetry off without
+    // restoring it.
+
+    #[test]
+    fn span_records_time_bytes_frames() {
+        let _g = crate::test_guard();
+        {
+            let mut s = crate::span!("test_stage_a");
+            s.add_bytes(100);
+            s.add_bytes(28);
+            s.add_frames(2);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        flush();
+        let snap = crate::global().snapshot();
+        assert!(snap.counters["span.test_stage_a.calls"] >= 1);
+        assert!(snap.counters["span.test_stage_a.bytes"] >= 128);
+        assert!(snap.counters["span.test_stage_a.frames"] >= 2);
+        let h = &snap.histograms["span.test_stage_a.ns"];
+        assert!(h.count >= 1);
+        assert!(h.max >= 1_000_000, "slept 1ms, saw {} ns", h.max);
+    }
+
+    #[test]
+    fn tagged_spans_split_metric_names() {
+        let _g = crate::test_guard();
+        for tag in ["p", "m"] {
+            let _s = crate::span!("test_stage_b", tag = tag);
+        }
+        flush();
+        let snap = crate::global().snapshot();
+        assert!(snap.counters.contains_key("span.test_stage_b.p.calls"));
+        assert!(snap.counters.contains_key("span.test_stage_b.m.calls"));
+    }
+
+    #[test]
+    fn worker_thread_spans_drain_on_exit() {
+        let _g = crate::test_guard();
+        std::thread::spawn(|| {
+            let _s = crate::span!("test_stage_c");
+        })
+        .join()
+        .unwrap();
+        let snap = crate::global().snapshot();
+        assert_eq!(snap.counters["span.test_stage_c.calls"], 1);
+    }
+
+    #[test]
+    fn overflow_drains_mid_loop() {
+        let _g = crate::test_guard();
+        for _ in 0..(FLUSH_THRESHOLD + 10) {
+            let _s = crate::span!("test_stage_d");
+        }
+        // The threshold crossing drained without an explicit flush().
+        let snap = crate::global().snapshot();
+        assert!(snap.counters["span.test_stage_d.calls"] >= FLUSH_THRESHOLD as u64);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = crate::test_guard();
+        crate::set_enabled(false);
+        {
+            let mut s = crate::span!("test_stage_e", tag = "x");
+            s.add_bytes(1);
+        }
+        flush();
+        crate::set_enabled(true);
+        let snap = crate::global().snapshot();
+        assert!(!snap.counters.contains_key("span.test_stage_e.x.calls"));
+    }
+}

@@ -102,6 +102,9 @@ pub fn render_frame(
     opts: &RenderOptions,
 ) -> RenderStats {
     assert_eq!(system.len(), coords.len(), "coords must match system");
+    let mut span = ada_telemetry::span!("render.frame");
+    span.add_frames(1);
+    span.add_bytes(std::mem::size_of_val(coords) as u64);
     let mut fb = vec![0u32; opts.width * opts.height];
     if coords.is_empty() {
         return RenderStats {

@@ -62,7 +62,7 @@ pub mod thread {
 mod tests {
     #[test]
     fn scoped_threads_borrow_stack_data() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let mut results = vec![0u64; data.len()];
         super::thread::scope(|scope| {
             for (d, slot) in data.iter().zip(results.iter_mut()) {
