@@ -4,11 +4,10 @@
 //! 1 000-frame GPCR workload.
 
 use ada_core::{
-    categorize_algo1, split_trajectory_opts, split_trajectory_serial, Ada, AdaConfig,
-    SplitOptions,
+    categorize_algo1, split_trajectory_opts, split_trajectory_serial, Ada, AdaConfig, SplitOptions,
 };
-use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
 use ada_mdformats::write_pdb;
+use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
 use ada_mdmodel::category::Taxonomy;
 use ada_plfs::ContainerSet;
 use ada_simfs::{LocalFs, SimFileSystem};
@@ -74,17 +73,13 @@ fn bench_streaming_ingest(c: &mut Criterion) {
         })
     });
     for threads in THREAD_COUNTS {
-        g.bench_with_input(
-            BenchmarkId::new("pipelined", threads),
-            &threads,
-            |b, &t| {
-                b.iter(|| {
-                    ada_with(t, 2)
-                        .ingest_streaming("bench", &pdb_text, &xtc_bytes, 128)
-                        .unwrap()
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("pipelined", threads), &threads, |b, &t| {
+            b.iter(|| {
+                ada_with(t, 2)
+                    .ingest_streaming("bench", &pdb_text, &xtc_bytes, 128)
+                    .unwrap()
+            })
+        });
     }
     g.finish();
 }

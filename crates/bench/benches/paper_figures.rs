@@ -43,7 +43,12 @@ fn bench_single_runs(c: &mut Criterion) {
         ("ssd_c_ext4_5006", &ssd, Scenario::CTraditional, 5006u64),
         ("ssd_ada_protein_5006", &ssd, Scenario::AdaProtein, 5006),
         ("fat_xfs_1876800", &fat, Scenario::CTraditional, 1_876_800),
-        ("fat_ada_protein_5004800", &fat, Scenario::AdaProtein, 5_004_800),
+        (
+            "fat_ada_protein_5004800",
+            &fat,
+            Scenario::AdaProtein,
+            5_004_800,
+        ),
     ] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
             b.iter(|| run_scenario(platform, scenario, frames))

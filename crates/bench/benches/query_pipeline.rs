@@ -1,0 +1,70 @@
+//! Serial vs parallel query/retrieval: full-frame and protein-subset
+//! reads through `Ada::query` at 0 (serial reference) and 1/2/4/8 decode
+//! workers over a multi-dropping 1 000-frame GPCR dataset.
+
+use ada_core::{Ada, AdaConfig, IngestInput};
+use ada_mdformats::write_pdb;
+use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
+use ada_mdmodel::Tag;
+use ada_plfs::ContainerSet;
+use ada_simfs::{LocalFs, SimFileSystem};
+use ada_workload::gpcr_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// ADA with small droppings (64 frames each) so retrieval has real
+/// per-backend and per-dropping fan-out, pre-loaded with the workload.
+fn ingested_ada(query_threads: usize, pdb_text: &str, xtc_bytes: &[u8]) -> Ada {
+    let ssd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_nvme());
+    let hdd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_hdd());
+    let containers = Arc::new(ContainerSet::new(vec![
+        ("ssd".into(), ssd.clone()),
+        ("hdd".into(), hdd),
+    ]));
+    let config = AdaConfig {
+        query_threads,
+        frames_per_dropping: 64,
+        ..AdaConfig::paper_prototype("ssd", "hdd")
+    };
+    let ada = Ada::new(config, containers, ssd);
+    ada.ingest(
+        "bench",
+        IngestInput::Real {
+            pdb_text: pdb_text.to_string(),
+            xtc_bytes: xtc_bytes.to_vec(),
+        },
+    )
+    .unwrap();
+    ada
+}
+
+fn bench_query(c: &mut Criterion) {
+    let w = gpcr_workload(2_000, 1_000, 7);
+    let pdb_text = write_pdb(&w.system);
+    let xtc_bytes = write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap();
+    let protein = Tag::protein();
+
+    for (label, tag) in [("full", None), ("protein", Some(&protein))] {
+        let mut g = c.benchmark_group(format!("query_pipeline/{}", label));
+        g.sample_size(10);
+        g.warm_up_time(std::time::Duration::from_millis(500));
+        g.measurement_time(std::time::Duration::from_secs(2));
+
+        let serial = ingested_ada(0, &pdb_text, &xtc_bytes);
+        let delivered = serial.query("bench", tag).unwrap().data.bytes();
+        g.throughput(Throughput::Bytes(delivered));
+        g.bench_function("serial", |b| b.iter(|| serial.query("bench", tag).unwrap()));
+        for threads in THREAD_COUNTS {
+            let ada = ingested_ada(threads, &pdb_text, &xtc_bytes);
+            g.bench_with_input(BenchmarkId::new("parallel", threads), &ada, |b, ada| {
+                b.iter(|| ada.query("bench", tag).unwrap())
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -106,5 +106,11 @@ fn bench_selection(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_bonds, bench_render, bench_analysis, bench_selection);
+criterion_group!(
+    benches,
+    bench_bonds,
+    bench_render,
+    bench_analysis,
+    bench_selection
+);
 criterion_main!(benches);

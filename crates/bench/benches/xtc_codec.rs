@@ -7,8 +7,8 @@
 //! index scan, and a precision ablation (quantization step vs output
 //! size).
 
-use ada_mdformats::xtc::{decode_frames_parallel, index_frames, write_xtc, DEFAULT_PRECISION};
 use ada_mdformats::read_xtc;
+use ada_mdformats::xtc::{decode_frames_parallel, index_frames, write_xtc, DEFAULT_PRECISION};
 use ada_workload::gpcr_workload;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 

@@ -28,8 +28,21 @@ fn main() {
     }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig7", "fig8",
-            "fig9", "fig10", "ablations", "playback", "amortization", "contention",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "fig1",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "ablations",
+            "playback",
+            "amortization",
+            "contention",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -64,6 +77,8 @@ fn main() {
             "contention" => print_contention(),
             "bench-ingest" => bench_ingest(),
             "profile-ingest" => profile_ingest(),
+            "bench-query" => bench_query(),
+            "profile-query" => profile_query(),
             other => eprintln!("unknown item '{}'", other),
         }
     }
@@ -104,7 +119,9 @@ fn print_contention() {
             &rows
         )
     );
-    println!("  ADA ships less through the shared storage: its advantage grows with client count\n");
+    println!(
+        "  ADA ships less through the shared storage: its advantage grows with client count\n"
+    );
 }
 
 fn print_amortization() {
@@ -172,7 +189,9 @@ fn print_playback() {
             &rows
         )
     );
-    println!("  smaller (protein-only) frames keep more of the animation resident: fluent replay\n");
+    println!(
+        "  smaller (protein-only) frames keep more of the animation resident: fluent replay\n"
+    );
 }
 
 fn print_ablations() {
@@ -341,8 +360,14 @@ fn print_table6() {
 fn print_table3() {
     let rows = vec![
         vec!["C".into(), "VMD loads a compressed XTC file".into()],
-        vec!["D".into(), "VMD loads a raw XTC file w/o compression".into()],
-        vec!["ADA (all)".into(), "ADA transfers the entire raw data".into()],
+        vec![
+            "D".into(),
+            "VMD loads a raw XTC file w/o compression".into(),
+        ],
+        vec![
+            "ADA (all)".into(),
+            "ADA transfers the entire raw data".into(),
+        ],
         vec![
             "ADA (protein)".into(),
             "ADA transfers the protein data".into(),
@@ -350,7 +375,11 @@ fn print_table3() {
     ];
     println!(
         "{}",
-        format_table("Table 3 — Notations of Fig. 7", &["Notes", "Description"], &rows)
+        format_table(
+            "Table 3 — Notations of Fig. 7",
+            &["Notes", "Description"],
+            &rows
+        )
     );
 }
 
@@ -360,10 +389,7 @@ fn print_table4() {
         vec!["CPU".into(), p.cpu.name.clone()],
         vec!["File system".into(), "PVFS (OrangeFS-like, striped)".into()],
         vec!["Node quantity".into(), "9 (3 compute, 3 HDD, 3 SSD)".into()],
-        vec![
-            "HDD".into(),
-            "WD 1TB SATA, 126 MB/s max, 6 devices".into(),
-        ],
+        vec!["HDD".into(), "WD 1TB SATA, 126 MB/s max, 6 devices".into()],
         vec![
             "SSD".into(),
             "Plextor 256GB PCI-e, 3000/1000 MB/s peak, 6 devices".into(),
@@ -375,14 +401,21 @@ fn print_table4() {
     ];
     println!(
         "{}",
-        format_table("Table 4 — Cluster system parameters", &["Item", "Value"], &rows)
+        format_table(
+            "Table 4 — Cluster system parameters",
+            &["Item", "Value"],
+            &rows
+        )
     );
 }
 
 fn print_table5() {
     let p = Platform::fatnode();
     let rows = vec![
-        vec!["CPU".into(), format!("{} ({} cores)", p.cpu.name, p.cpu.cores)],
+        vec![
+            "CPU".into(),
+            format!("{} ({} cores)", p.cpu.name, p.cpu.cores),
+        ],
         vec![
             "Main memory".into(),
             format!("{} GB DDR4", p.memory_bytes / 1_000_000_000),
@@ -392,7 +425,11 @@ fn print_table5() {
     ];
     println!(
         "{}",
-        format_table("Table 5 — Fat-node server parameters", &["Item", "Value"], &rows)
+        format_table(
+            "Table 5 — Fat-node server parameters",
+            &["Item", "Value"],
+            &rows
+        )
     );
 }
 
@@ -400,10 +437,8 @@ fn print_fig1() {
     // Numeric stand-in for the paper's renders: subset sizes and drawn
     // geometry for raw vs protein vs MISC of a synthetic GPCR system.
     let w = ada_workload::gpcr_workload(6000, 1, 42);
-    let labeler = ada_core::categorize_algo1(
-        &w.system,
-        &ada_mdmodel::category::Taxonomy::paper_default(),
-    );
+    let labeler =
+        ada_core::categorize_algo1(&w.system, &ada_mdmodel::category::Taxonomy::paper_default());
     let frame = &w.trajectory.frames[0];
     let opts = RenderOptions::default();
     let mut rows = Vec::new();
@@ -414,7 +449,10 @@ fn print_fig1() {
         full.atoms_drawn.to_string(),
         full.pixels_filled.to_string(),
     ]);
-    for (tag, name) in [(Tag::protein(), "protein dataset (Fig. 1b)"), (Tag::misc(), "MISC dataset (Fig. 1c)")] {
+    for (tag, name) in [
+        (Tag::protein(), "protein dataset (Fig. 1b)"),
+        (Tag::misc(), "MISC dataset (Fig. 1c)"),
+    ] {
         let ranges = &labeler[&tag];
         let sub = w.system.subset(ranges);
         let coords = ranges.gather(&frame.coords);
@@ -622,11 +660,14 @@ fn bench_ingest() {
     };
 
     let json = Value::obj(vec![
-        ("workload", Value::obj(vec![
-            ("natoms", Value::num_u(w.system.len() as u64)),
-            ("nframes", Value::num_u(w.trajectory.len() as u64)),
-            ("raw_bytes", Value::num_u(raw_bytes)),
-        ])),
+        (
+            "workload",
+            Value::obj(vec![
+                ("natoms", Value::num_u(w.system.len() as u64)),
+                ("nframes", Value::num_u(w.trajectory.len() as u64)),
+                ("raw_bytes", Value::num_u(raw_bytes)),
+            ]),
+        ),
         ("cores", Value::num_u(cores as u64)),
         ("reps", Value::num_u(REPS as u64)),
         (
@@ -661,7 +702,7 @@ fn bench_ingest() {
 /// pipelined ingest over the same workload, print each stage's busy time
 /// and share, and write the machine-readable PROFILE_ingest.json.
 fn profile_ingest() {
-    use ada_core::{Ada, AdaConfig, IngestInput, StageProfile};
+    use ada_core::{Ada, AdaConfig, IngestInput};
     use ada_json::Value;
     use ada_mdformats::write_pdb;
     use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
@@ -684,10 +725,13 @@ fn profile_ingest() {
     let xtc_bytes = write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap();
 
     let serial = fresh_ada()
-        .ingest("profiled", IngestInput::Real {
-            pdb_text: pdb_text.clone(),
-            xtc_bytes: xtc_bytes.clone(),
-        })
+        .ingest(
+            "profiled",
+            IngestInput::Real {
+                pdb_text: pdb_text.clone(),
+                xtc_bytes: xtc_bytes.clone(),
+            },
+        )
         .unwrap()
         .profile
         .expect("telemetry must be enabled for profile-ingest");
@@ -697,58 +741,303 @@ fn profile_ingest() {
         .profile
         .expect("telemetry must be enabled for profile-ingest");
 
-    let print_profile = |p: &StageProfile| {
-        let rows: Vec<Vec<String>> = p
-            .stages_ns
-            .iter()
-            .map(|(stage, ns)| {
-                vec![
-                    stage.clone(),
-                    format!("{:.2}", *ns as f64 / 1e6),
-                    format!("{:.1}%", p.stage_share(stage) * 100.0),
-                ]
-            })
-            .collect();
-        println!(
-            "{}",
-            format_table(
-                &format!(
-                    "Ingest stage attribution — {} mode ({:.2} ms wall)",
-                    p.mode,
-                    p.wall_ns as f64 / 1e6
-                ),
-                &["stage", "busy time (ms)", "share of wall"],
-                &rows
-            )
-        );
-        if let Some((stage, ns)) = p.bottleneck() {
-            println!(
-                "  bottleneck: {} ({:.2} ms busy) — the stage the pipeline cannot hide",
-                stage,
-                ns as f64 / 1e6
-            );
-        }
-        if !p.queue_hwm.is_empty() {
-            let hwm: Vec<String> = p
-                .queue_hwm
-                .iter()
-                .map(|(q, v)| format!("{}={}", q, v))
-                .collect();
-            println!("  queue high-water marks (batches): {}", hwm.join(", "));
-        }
-        println!();
-    };
-    print_profile(&serial);
-    print_profile(&pipelined);
+    print_stage_profile("Ingest", &serial);
+    print_stage_profile("Ingest", &pipelined);
 
     let json = Value::obj(vec![
-        ("workload", Value::obj(vec![
-            ("natoms", Value::num_u(w.system.len() as u64)),
-            ("nframes", Value::num_u(w.trajectory.len() as u64)),
-        ])),
+        (
+            "workload",
+            Value::obj(vec![
+                ("natoms", Value::num_u(w.system.len() as u64)),
+                ("nframes", Value::num_u(w.trajectory.len() as u64)),
+            ]),
+        ),
         ("serial", serial.to_json()),
         ("pipelined", pipelined.to_json()),
     ]);
     std::fs::write("PROFILE_ingest.json", json.to_vec()).expect("write PROFILE_ingest.json");
     println!("  wrote PROFILE_ingest.json\n");
+}
+
+/// Print one `StageProfile` as a stage/busy-time/share table plus its
+/// bottleneck and queue high-water marks.
+fn print_stage_profile(op: &str, p: &ada_core::StageProfile) {
+    let rows: Vec<Vec<String>> = p
+        .stages_ns
+        .iter()
+        .map(|(stage, ns)| {
+            vec![
+                stage.clone(),
+                format!("{:.2}", *ns as f64 / 1e6),
+                format!("{:.1}%", p.stage_share(stage) * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &format!(
+                "{} stage attribution — {} mode ({:.2} ms wall)",
+                op,
+                p.mode,
+                p.wall_ns as f64 / 1e6
+            ),
+            &["stage", "busy time (ms)", "share of wall"],
+            &rows
+        )
+    );
+    if let Some((stage, ns)) = p.bottleneck() {
+        println!(
+            "  bottleneck: {} ({:.2} ms busy) — the stage the pipeline cannot hide",
+            stage,
+            ns as f64 / 1e6
+        );
+    }
+    if !p.queue_hwm.is_empty() {
+        let hwm: Vec<String> = p
+            .queue_hwm
+            .iter()
+            .map(|(q, v)| format!("{}={}", q, v))
+            .collect();
+        println!("  queue high-water marks: {}", hwm.join(", "));
+    }
+    println!();
+}
+
+/// Hybrid SSD/HDD ADA tuned for query benchmarks: small droppings so the
+/// retrieval has real per-backend and per-dropping fan-out.
+fn query_bench_ada(query_threads: usize) -> ada_core::Ada {
+    use ada_plfs::ContainerSet;
+    use ada_simfs::{LocalFs, SimFileSystem};
+    use std::sync::Arc;
+
+    let ssd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_nvme());
+    let hdd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_hdd());
+    let containers = Arc::new(ContainerSet::new(vec![
+        ("ssd".into(), ssd.clone()),
+        ("hdd".into(), hdd),
+    ]));
+    let config = ada_core::AdaConfig {
+        query_threads,
+        frames_per_dropping: 64, // 1,000 frames → ~16 droppings per tag
+        ..ada_core::AdaConfig::paper_prototype("ssd", "hdd")
+    };
+    ada_core::Ada::new(config, containers, ssd)
+}
+
+/// `repro bench-query` — wall-clock the serial vs parallel query paths
+/// (full-frame and protein-subset retrieval at 1/2/4/8 decode workers)
+/// over a multi-dropping GPCR dataset, print a table and write
+/// BENCH_query.json (same shape as BENCH_ingest.json).
+fn bench_query() {
+    use ada_core::{Ada, IngestInput};
+    use ada_json::Value;
+    use ada_mdformats::write_pdb;
+    use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
+    use std::time::Instant;
+
+    const THREADS: [usize; 4] = [1, 2, 4, 8];
+    const REPS: usize = 5;
+
+    fn time<F: FnMut()>(mut f: F) -> f64 {
+        f(); // warm up caches and the allocator
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    }
+
+    let w = ada_workload::gpcr_workload(2_000, 1_000, 7);
+    let pdb_text = write_pdb(&w.system);
+    let xtc_bytes = write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap();
+    let raw_bytes = w.trajectory.nbytes() as u64;
+
+    let ingest = |ada: &Ada| {
+        ada.ingest(
+            "bench",
+            IngestInput::Real {
+                pdb_text: pdb_text.clone(),
+                xtc_bytes: xtc_bytes.clone(),
+            },
+        )
+        .unwrap();
+    };
+    let serial = query_bench_ada(0);
+    ingest(&serial);
+    let parallel: Vec<(usize, Ada)> = THREADS
+        .iter()
+        .map(|&t| {
+            let ada = query_bench_ada(t);
+            ingest(&ada);
+            (t, ada)
+        })
+        .collect();
+
+    let protein = Tag::protein();
+    let full_bytes = serial.query("bench", None).unwrap().data.bytes();
+    let prot_bytes = serial.query("bench", Some(&protein)).unwrap().data.bytes();
+
+    // (name, best seconds, delivered bytes)
+    let mut results: Vec<(String, f64, u64)> = Vec::new();
+    results.push((
+        "full/serial".into(),
+        time(|| {
+            serial.query("bench", None).unwrap();
+        }),
+        full_bytes,
+    ));
+    for (t, ada) in &parallel {
+        results.push((
+            format!("full/parallel/{}", t),
+            time(|| {
+                ada.query("bench", None).unwrap();
+            }),
+            full_bytes,
+        ));
+    }
+    results.push((
+        "protein/serial".into(),
+        time(|| {
+            serial.query("bench", Some(&protein)).unwrap();
+        }),
+        prot_bytes,
+    ));
+    for (t, ada) in &parallel {
+        results.push((
+            format!("protein/parallel/{}", t),
+            time(|| {
+                ada.query("bench", Some(&protein)).unwrap();
+            }),
+            prot_bytes,
+        ));
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mib = |bytes: u64| bytes as f64 / (1024.0 * 1024.0);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, s, bytes)| {
+            vec![
+                name.clone(),
+                format!("{:.1}", s * 1e3),
+                format!("{:.1}", mib(*bytes) / s),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &format!(
+                "Query pipeline — best of {} (GPCR, 1,000 frames × {} atoms, {} core(s))",
+                REPS,
+                w.system.len(),
+                cores
+            ),
+            &["path", "time (ms)", "delivered (MiB/s)"],
+            &rows
+        )
+    );
+
+    // One measured run per mode for the telemetry section (same `profile`
+    // shape as BENCH_ingest.json).
+    let serial_profile = serial.query("bench", None).unwrap().profile;
+    let parallel_profile = parallel
+        .iter()
+        .find(|(t, _)| *t == 4)
+        .map(|(_, ada)| ada.query("bench", None).unwrap().profile)
+        .unwrap_or_default();
+    let profile_json = |p: Option<ada_core::StageProfile>| match p {
+        Some(p) => p.to_json(),
+        None => Value::Null,
+    };
+
+    let json = Value::obj(vec![
+        (
+            "workload",
+            Value::obj(vec![
+                ("natoms", Value::num_u(w.system.len() as u64)),
+                ("nframes", Value::num_u(w.trajectory.len() as u64)),
+                ("raw_bytes", Value::num_u(raw_bytes)),
+            ]),
+        ),
+        ("cores", Value::num_u(cores as u64)),
+        ("reps", Value::num_u(REPS as u64)),
+        (
+            "results",
+            Value::Arr(
+                results
+                    .iter()
+                    .map(|(name, s, bytes)| {
+                        Value::obj(vec![
+                            ("name", Value::str(name)),
+                            ("seconds", Value::Num(*s)),
+                            ("mib_per_s", Value::Num(mib(*bytes) / s)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "profile",
+            Value::obj(vec![
+                ("serial", profile_json(serial_profile)),
+                ("parallel", profile_json(parallel_profile)),
+            ]),
+        ),
+    ]);
+    std::fs::write("BENCH_query.json", json.to_vec()).expect("write BENCH_query.json");
+    println!("  wrote BENCH_query.json\n");
+}
+
+/// `repro profile-query` — answer "is index, read, decode, or reassembly
+/// the retrieval ceiling?" with measured telemetry: run the serial and
+/// the parallel query over the same multi-dropping dataset, print each
+/// stage's busy time and share, and write PROFILE_query.json.
+fn profile_query() {
+    use ada_core::IngestInput;
+    use ada_json::Value;
+    use ada_mdformats::write_pdb;
+    use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
+
+    let w = ada_workload::gpcr_workload(2_000, 500, 7);
+    let pdb_text = write_pdb(&w.system);
+    let xtc_bytes = write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap();
+
+    let run = |query_threads: usize| {
+        let ada = query_bench_ada(query_threads);
+        ada.ingest(
+            "profiled",
+            IngestInput::Real {
+                pdb_text: pdb_text.clone(),
+                xtc_bytes: xtc_bytes.clone(),
+            },
+        )
+        .unwrap();
+        ada.query("profiled", None)
+            .unwrap()
+            .profile
+            .expect("telemetry must be enabled for profile-query")
+    };
+    let serial = run(0);
+    let parallel = run(4);
+
+    print_stage_profile("Query", &serial);
+    print_stage_profile("Query", &parallel);
+
+    let json = Value::obj(vec![
+        (
+            "workload",
+            Value::obj(vec![
+                ("natoms", Value::num_u(w.system.len() as u64)),
+                ("nframes", Value::num_u(w.trajectory.len() as u64)),
+            ]),
+        ),
+        ("serial", serial.to_json()),
+        ("parallel", parallel.to_json()),
+    ]);
+    std::fs::write("PROFILE_query.json", json.to_vec()).expect("write PROFILE_query.json");
+    println!("  wrote PROFILE_query.json\n");
 }

@@ -37,10 +37,7 @@ pub fn categorize_algo1(system: &MolecularSystem, taxonomy: &Taxonomy) -> Labele
             }
             Some(prev) => {
                 // Labeler module: close the finished run under prev_tag.
-                labeler
-                    .entry(prev.clone())
-                    .or_default()
-                    .push(begin..offset);
+                labeler.entry(prev.clone()).or_default().push(begin..offset);
                 prev_tag = Some(tag);
                 begin = offset;
             }

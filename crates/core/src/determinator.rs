@@ -177,9 +177,12 @@ mod tests {
     #[test]
     fn index_lookup_filters_and_charges() {
         let det = determinator();
-        det.dispatch("bar", &Tag::protein(), Content::synthetic(10)).unwrap();
-        det.dispatch("bar", &Tag::misc(), Content::synthetic(10)).unwrap();
-        det.dispatch("bar", &Tag::protein(), Content::synthetic(10)).unwrap();
+        det.dispatch("bar", &Tag::protein(), Content::synthetic(10))
+            .unwrap();
+        det.dispatch("bar", &Tag::misc(), Content::synthetic(10))
+            .unwrap();
+        det.dispatch("bar", &Tag::protein(), Content::synthetic(10))
+            .unwrap();
         let (p, d) = det.index_lookup("bar", Some(&Tag::protein())).unwrap();
         assert_eq!(p.len(), 2);
         assert!(d.as_secs_f64() >= INDEXER_BASE_S);
@@ -190,8 +193,10 @@ mod tests {
     #[test]
     fn retrieve_tagged_and_all() {
         let det = determinator();
-        det.dispatch("bar", &Tag::protein(), Content::real(vec![1u8; 5])).unwrap();
-        det.dispatch("bar", &Tag::misc(), Content::real(vec![2u8; 7])).unwrap();
+        det.dispatch("bar", &Tag::protein(), Content::real(vec![1u8; 5]))
+            .unwrap();
+        det.dispatch("bar", &Tag::misc(), Content::real(vec![2u8; 7]))
+            .unwrap();
         let (p, _) = det.retrieve("bar", Some(&Tag::protein())).unwrap();
         assert_eq!(p.len(), 5);
         let (all, _) = det.retrieve("bar", None).unwrap();

@@ -28,7 +28,12 @@ pub struct LabelFile {
 
 impl LabelFile {
     /// Build from a categorizer run.
-    pub fn new(dataset: impl Into<String>, natoms: usize, nframes: usize, labeler: Labeler) -> LabelFile {
+    pub fn new(
+        dataset: impl Into<String>,
+        natoms: usize,
+        nframes: usize,
+        labeler: Labeler,
+    ) -> LabelFile {
         LabelFile {
             dataset: dataset.into(),
             natoms,
@@ -67,7 +72,12 @@ impl LabelFile {
             .map(|(tag, ranges)| {
                 let pairs = ranges
                     .iter_ranges()
-                    .map(|r| Value::Arr(vec![Value::num_u(r.start as u64), Value::num_u(r.end as u64)]))
+                    .map(|r| {
+                        Value::Arr(vec![
+                            Value::num_u(r.start as u64),
+                            Value::num_u(r.end as u64),
+                        ])
+                    })
                     .collect();
                 (tag.as_str().to_string(), Value::Arr(pairs))
             })
@@ -87,7 +97,9 @@ impl LabelFile {
             for pair in pairs.as_arr()? {
                 let pair = pair.as_arr()?;
                 if pair.len() != 2 {
-                    return Err(ada_json::JsonError("range is not a [start, end) pair".into()));
+                    return Err(ada_json::JsonError(
+                        "range is not a [start, end) pair".into(),
+                    ));
                 }
                 ranges.push(pair[0].as_usize()?..pair[1].as_usize()?);
             }
@@ -112,7 +124,10 @@ impl LabelFile {
     }
 
     /// Load a dataset's label file.
-    pub fn load(fs: &dyn SimFileSystem, dataset: &str) -> Result<(LabelFile, SimDuration), AdaError> {
+    pub fn load(
+        fs: &dyn SimFileSystem,
+        dataset: &str,
+    ) -> Result<(LabelFile, SimDuration), AdaError> {
         let (content, d) = fs.read(&LabelFile::path_for(dataset))?;
         let bytes = content
             .as_real()

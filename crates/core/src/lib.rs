@@ -46,17 +46,18 @@ pub mod synth;
 pub mod tiering;
 
 pub use ada::{Ada, AdaConfig, IngestInput, IngestReport, QueryReport, RetrievedData};
-pub use profile::StageProfile;
 pub use categorizer::{categorize_algo1, Labeler};
-pub use determinator::{DispatchPolicy, Determinator};
+pub use determinator::{Determinator, DispatchPolicy};
 pub use labeler::LabelFile;
 pub use preprocess::{
     split_trajectory, split_trajectory_opts, split_trajectory_serial, PreprocessOutput,
     SplitOptions,
 };
+pub use profile::StageProfile;
 pub use synth::SyntheticDataset;
 pub use tiering::{MigrationPlan, Rebalancer};
 
+use ada_mdformats::FormatError;
 use ada_mdformats::XtcError;
 use ada_plfs::PlfsError;
 use ada_simfs::FsError;
@@ -70,6 +71,25 @@ pub enum AdaError {
     Plfs(PlfsError),
     /// Trajectory decode/encode failed.
     Xtc(XtcError),
+    /// A stored dropping failed to decode as XTCF — corrupt or not real
+    /// bytes. Distinct from [`AdaError::Pdb`] so `ada.query.err.{kind}`
+    /// telemetry attributes read-path corruption correctly.
+    Xtcf {
+        /// Dropping path that failed to decode.
+        dropping: String,
+        /// The underlying format error.
+        source: FormatError,
+    },
+    /// Full-frame reassembly found tags whose droppings carry different
+    /// frame counts — refusing to silently truncate to the shortest.
+    FrameCountMismatch {
+        /// Tag whose frame count disagrees with the label.
+        tag: String,
+        /// Frames the label file says the dataset has.
+        expected: usize,
+        /// Frames actually decoded for `tag`.
+        got: usize,
+    },
     /// Structure file failed to parse.
     Pdb(String),
     /// The query asked for a tag the labeler never produced.
@@ -111,6 +131,14 @@ impl std::fmt::Display for AdaError {
             AdaError::Fs(e) => write!(f, "fs: {}", e),
             AdaError::Plfs(e) => write!(f, "plfs: {}", e),
             AdaError::Xtc(e) => write!(f, "xtc: {}", e),
+            AdaError::Xtcf { dropping, source } => {
+                write!(f, "corrupt dropping '{}': {}", dropping, source)
+            }
+            AdaError::FrameCountMismatch { tag, expected, got } => write!(
+                f,
+                "frame count mismatch: tag '{}' decoded {} frames, label expects {}",
+                tag, got, expected
+            ),
             AdaError::Pdb(m) => write!(f, "pdb: {}", m),
             AdaError::UnknownTag(t) => write!(f, "unknown tag '{}'", t),
             AdaError::UnknownDataset(d) => write!(f, "unknown dataset '{}'", d),
@@ -133,6 +161,8 @@ impl AdaError {
             AdaError::Fs(_) => "fs",
             AdaError::Plfs(_) => "plfs",
             AdaError::Xtc(_) => "xtc",
+            AdaError::Xtcf { .. } => "xtcf",
+            AdaError::FrameCountMismatch { .. } => "frame_count_mismatch",
             AdaError::Pdb(_) => "pdb",
             AdaError::UnknownTag(_) => "unknown_tag",
             AdaError::UnknownDataset(_) => "unknown_dataset",
@@ -148,7 +178,9 @@ impl std::error::Error for AdaError {
             AdaError::Fs(e) => Some(e),
             AdaError::Plfs(e) => Some(e),
             AdaError::Xtc(e) => Some(e),
-            AdaError::Pdb(_)
+            AdaError::Xtcf { source, .. } => Some(source),
+            AdaError::FrameCountMismatch { .. }
+            | AdaError::Pdb(_)
             | AdaError::UnknownTag(_)
             | AdaError::UnknownDataset(_)
             | AdaError::AtomMismatch { .. }
@@ -167,6 +199,15 @@ mod error_tests {
             AdaError::Fs(FsError::NotFound("x".into())),
             AdaError::Plfs(PlfsError::UnknownBackend("b".into())),
             AdaError::Xtc(XtcError::TruncatedPayload),
+            AdaError::Xtcf {
+                dropping: "ssd/bar/hostdir.0/dropping.data.p.0".into(),
+                source: FormatError::Corrupt("bad magic".into()),
+            },
+            AdaError::FrameCountMismatch {
+                tag: "m".into(),
+                expected: 7,
+                got: 5,
+            },
             AdaError::Pdb("bad atom line".into()),
             AdaError::UnknownTag("z".into()),
             AdaError::UnknownDataset("d".into()),
@@ -194,6 +235,8 @@ mod error_tests {
                 "fs",
                 "plfs",
                 "xtc",
+                "xtcf",
+                "frame_count_mismatch",
                 "pdb",
                 "unknown_tag",
                 "unknown_dataset",
@@ -207,7 +250,7 @@ mod error_tests {
     fn source_chains_wrapped_errors() {
         for e in all_variants() {
             match &e {
-                AdaError::Fs(_) | AdaError::Plfs(_) | AdaError::Xtc(_) => {
+                AdaError::Fs(_) | AdaError::Plfs(_) | AdaError::Xtc(_) | AdaError::Xtcf { .. } => {
                     let src = e.source().expect("wrapped variant must expose source");
                     // The chain renders: Display stays consistent with it.
                     assert!(e.to_string().contains(&src.to_string()));

@@ -126,7 +126,10 @@ pub fn split_trajectory_opts(
                             let ranges = entries[cell / nchunks].1;
                             let start = (cell % nchunks) * chunk_frames;
                             let end = (start + chunk_frames).min(nframes);
-                            done.push((cell, encode_chunk(traj, ranges, start..end, &mut gather_buf)));
+                            done.push((
+                                cell,
+                                encode_chunk(traj, ranges, start..end, &mut gather_buf),
+                            ));
                         }
                         done
                     })
@@ -266,7 +269,10 @@ mod tests {
                 let par = split_trajectory_opts(
                     &traj,
                     &labeler,
-                    SplitOptions { threads, chunk_frames },
+                    SplitOptions {
+                        threads,
+                        chunk_frames,
+                    },
                 )
                 .unwrap();
                 assert_eq!(par.raw_bytes, serial.raw_bytes);

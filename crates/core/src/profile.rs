@@ -69,7 +69,11 @@ impl StageProfile {
     ///   "queue_high_water": {..}, "bytes_by_tag": {..}}`.
     pub fn to_json(&self) -> Value {
         let map = |m: &BTreeMap<String, u64>| {
-            Value::Obj(m.iter().map(|(k, v)| (k.clone(), Value::num_u(*v))).collect())
+            Value::Obj(
+                m.iter()
+                    .map(|(k, v)| (k.clone(), Value::num_u(*v)))
+                    .collect(),
+            )
         };
         Value::obj(vec![
             ("mode", Value::str(self.mode.clone())),
@@ -118,15 +122,30 @@ mod tests {
         assert_eq!(v.field("wall_ns").unwrap().as_u64().unwrap(), 42);
         assert_eq!(v.field("bottleneck").unwrap().as_str().unwrap(), "decode");
         assert_eq!(
-            v.field("stages_ns").unwrap().field("decode").unwrap().as_u64().unwrap(),
+            v.field("stages_ns")
+                .unwrap()
+                .field("decode")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
             10
         );
         assert_eq!(
-            v.field("queue_high_water").unwrap().field("decoded").unwrap().as_u64().unwrap(),
+            v.field("queue_high_water")
+                .unwrap()
+                .field("decoded")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
             2
         );
         assert_eq!(
-            v.field("bytes_by_tag").unwrap().field("p").unwrap().as_u64().unwrap(),
+            v.field("bytes_by_tag")
+                .unwrap()
+                .field("p")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
             1024
         );
     }

@@ -75,9 +75,7 @@ impl Rebalancer {
         let plan = self.plan(ada, dataset)?;
         let mut total = SimDuration::ZERO;
         for (ds, tag, backend) in plan.moves {
-            total += ada
-                .containers()
-                .migrate_tag(&ds, tag.as_str(), &backend)?;
+            total += ada.containers().migrate_tag(&ds, tag.as_str(), &backend)?;
         }
         Ok(total)
     }

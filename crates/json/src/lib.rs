@@ -71,7 +71,8 @@ impl Value {
 
     /// Object field, or an error naming the missing key.
     pub fn field(&self, key: &str) -> Result<&Value, JsonError> {
-        self.get(key).ok_or_else(|| JsonError(format!("missing field '{}'", key)))
+        self.get(key)
+            .ok_or_else(|| JsonError(format!("missing field '{}'", key)))
     }
 
     /// String content, if this is a string.
@@ -182,7 +183,10 @@ fn write_escaped(s: &str, out: &mut String) {
 /// Parse a JSON document (rejects trailing garbage).
 pub fn parse(bytes: &[u8]) -> Result<Value, JsonError> {
     let text = std::str::from_utf8(bytes).map_err(|_| JsonError("invalid utf-8".into()))?;
-    let mut p = Parser { chars: text.char_indices().peekable(), text };
+    let mut p = Parser {
+        chars: text.char_indices().peekable(),
+        text,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -238,7 +242,11 @@ impl<'a> Parser<'a> {
     }
 
     fn number(&mut self) -> Result<Value, JsonError> {
-        let start = self.chars.peek().map(|(i, _)| *i).unwrap_or(self.text.len());
+        let start = self
+            .chars
+            .peek()
+            .map(|(i, _)| *i)
+            .unwrap_or(self.text.len());
         let mut end = start;
         while let Some((i, c)) = self.chars.peek().copied() {
             if c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' || c.is_ascii_digit() {

@@ -32,7 +32,8 @@ impl std::fmt::Display for GroError {
 impl std::error::Error for GroError {}
 
 fn field(line: &str, start: usize, end: usize) -> &str {
-    line.get(start.min(line.len())..end.min(line.len())).unwrap_or("")
+    line.get(start.min(line.len())..end.min(line.len()))
+        .unwrap_or("")
 }
 
 /// Parse a `.gro` text.
@@ -119,7 +120,12 @@ pub fn parse_gro(text: &str) -> Result<MolecularSystem, GroError> {
         None => PbcBox::zero(),
     };
 
-    Ok(MolecularSystem::from_atoms(title.trim(), atoms, coords, pbc))
+    Ok(MolecularSystem::from_atoms(
+        title.trim(),
+        atoms,
+        coords,
+        pbc,
+    ))
 }
 
 /// Serialize a system to `.gro` text.
@@ -226,7 +232,11 @@ GPCR slab, t= 0.0
             for k in 0..n {
                 atoms.push(Atom {
                     serial,
-                    name: if k == 0 { "N".into() } else { format!("C{}", k) },
+                    name: if k == 0 {
+                        "N".into()
+                    } else {
+                        format!("C{}", k)
+                    },
                     resname: resname.into(),
                     resid,
                     chain: ' ',
@@ -253,7 +263,10 @@ GPCR slab, t= 0.0
         let err = parse_gro(bad).unwrap_err();
         assert_eq!(err.line, 3);
         let bad2 = "t\n  1\n    1ALA      N    1   x.000   2.000   3.000\n0 0 0\n";
-        assert!(parse_gro(bad2).unwrap_err().message.contains("x coordinate"));
+        assert!(parse_gro(bad2)
+            .unwrap_err()
+            .message
+            .contains("x coordinate"));
     }
 
     #[test]

@@ -137,8 +137,7 @@ pub fn write_pdb(system: &MolecularSystem) -> String {
         let record = if atom.hetero { "HETATM" } else { "ATOM  " };
         // PDB atom-name column convention: names shorter than 4 chars start
         // in column 14 unless they begin with a digit.
-        let name = if atom.name.len() >= 4 || atom.name.starts_with(|c: char| c.is_ascii_digit())
-        {
+        let name = if atom.name.len() >= 4 || atom.name.starts_with(|c: char| c.is_ascii_digit()) {
             format!("{:<4}", atom.name)
         } else {
             format!(" {:<3}", atom.name)

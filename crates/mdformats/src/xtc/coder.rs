@@ -65,11 +65,11 @@ impl std::error::Error for XtcError {}
 /// The magic bit-scale table: `MAGICINTS[i]³ ≤ 2^i`, so a triple of values
 /// each below `MAGICINTS[i]` packs into exactly `i` bits.
 pub const MAGICINTS: [i32; 73] = [
-    0, 0, 0, 0, 0, 0, 0, 0, 0, 8, 10, 12, 16, 20, 25, 32, 40, 50, 64, 80, 101, 128, 161, 203,
-    256, 322, 406, 512, 645, 812, 1024, 1290, 1625, 2048, 2580, 3250, 4096, 5060, 6501, 8192,
-    10321, 13003, 16384, 20642, 26007, 32768, 41285, 52015, 65536, 82570, 104031, 131072, 165140,
-    208063, 262144, 330280, 416127, 524287, 660561, 832255, 1048576, 1321122, 1664510, 2097152,
-    2642245, 3329021, 4194304, 5284491, 6658042, 8388607, 10568983, 13316085, 16777216,
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 8, 10, 12, 16, 20, 25, 32, 40, 50, 64, 80, 101, 128, 161, 203, 256,
+    322, 406, 512, 645, 812, 1024, 1290, 1625, 2048, 2580, 3250, 4096, 5060, 6501, 8192, 10321,
+    13003, 16384, 20642, 26007, 32768, 41285, 52015, 65536, 82570, 104031, 131072, 165140, 208063,
+    262144, 330280, 416127, 524287, 660561, 832255, 1048576, 1321122, 1664510, 2097152, 2642245,
+    3329021, 4194304, 5284491, 6658042, 8388607, 10568983, 13316085, 16777216,
 ];
 
 const FIRSTIDX: usize = 9;
@@ -567,7 +567,13 @@ mod tests {
     #[test]
     fn precision_variants() {
         let coords: Vec<[f32; 3]> = (0..30)
-            .map(|i| [i as f32 * 0.05, 1.0 / (1.0 + i as f32), -2.5 + i as f32 * 0.2])
+            .map(|i| {
+                [
+                    i as f32 * 0.05,
+                    1.0 / (1.0 + i as f32),
+                    -2.5 + i as f32 * 0.2,
+                ]
+            })
             .collect();
         for &prec in &[10.0f32, 100.0, 1000.0, 100000.0] {
             let out = roundtrip(&coords, prec);

@@ -448,7 +448,8 @@ mod tests {
     #[test]
     fn atom_count_mismatch_across_frames_rejected() {
         let mut w = XtcWriter::new(DEFAULT_PRECISION);
-        w.write_frame(&Frame::from_coords(vec![[0.0; 3]; 20])).unwrap();
+        w.write_frame(&Frame::from_coords(vec![[0.0; 3]; 20]))
+            .unwrap();
         let err = w.write_frame(&Frame::from_coords(vec![[0.0; 3]; 21]));
         assert!(err.is_err());
     }
@@ -458,10 +459,7 @@ mod tests {
         let traj = test_traj(1, 30);
         let mut bytes = write_xtc(&traj, DEFAULT_PRECISION).unwrap();
         bytes[3] = 0x07; // clobber magic
-        assert!(matches!(
-            read_xtc(&bytes),
-            Err(XtcError::BadMagic(_))
-        ));
+        assert!(matches!(read_xtc(&bytes), Err(XtcError::BadMagic(_))));
     }
 
     #[test]

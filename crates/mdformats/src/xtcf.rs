@@ -284,8 +284,11 @@ mod tests {
     #[test]
     fn mixed_atom_counts_rejected() {
         let mut w = XtcfWriter::new();
-        w.write_frame(&Frame::from_coords(vec![[0.0; 3]; 3])).unwrap();
-        assert!(w.write_frame(&Frame::from_coords(vec![[0.0; 3]; 4])).is_err());
+        w.write_frame(&Frame::from_coords(vec![[0.0; 3]; 3]))
+            .unwrap();
+        assert!(w
+            .write_frame(&Frame::from_coords(vec![[0.0; 3]; 4]))
+            .is_err());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! the quantized lattice.
 
 use ada_mdformats::xtc::{decode_frames_parallel, index_frames, write_xtc};
-use ada_mdformats::{read_xtc, read_trr, read_xtcf, write_trr, write_xtcf, Frame, Trajectory};
+use ada_mdformats::{read_trr, read_xtc, read_xtcf, write_trr, write_xtcf, Frame, Trajectory};
 use ada_mdmodel::PbcBox;
 use proptest::prelude::*;
 
@@ -45,7 +45,13 @@ fn assert_roundtrip(coords: &[[f32; 3]], precision: f32) {
     assert_eq!(back.frames.len(), 1);
     let out = &back.frames[0].coords;
     assert_eq!(out.len(), coords.len());
-    let tol = 0.5 / precision + 1e-5 * (1.0 + coords.iter().flat_map(|c| c.iter()).fold(0.0f32, |a, &b| a.max(b.abs())));
+    let tol = 0.5 / precision
+        + 1e-5
+            * (1.0
+                + coords
+                    .iter()
+                    .flat_map(|c| c.iter())
+                    .fold(0.0f32, |a, &b| a.max(b.abs())));
     for (a, b) in coords.iter().zip(out) {
         for d in 0..3 {
             assert!(

@@ -148,7 +148,10 @@ impl CellGrid {
             for d in 0..3 {
                 dims[d] = (((hi[d] - lo[d]) / cell).floor() as usize + 1).max(1);
             }
-            match dims[0].checked_mul(dims[1]).and_then(|p| p.checked_mul(dims[2])) {
+            match dims[0]
+                .checked_mul(dims[1])
+                .and_then(|p| p.checked_mul(dims[2]))
+            {
                 Some(n) if n <= MAX_CELLS => break,
                 _ => cell *= 2.0,
             }

@@ -125,8 +125,8 @@ pub const WATER_RESIDUES: &[&str] = &[
 
 /// Common membrane lipid residue names.
 pub const LIPID_RESIDUES: &[&str] = &[
-    "POPC", "POPE", "POPS", "POPG", "DPPC", "DOPC", "DOPE", "DMPC", "DLPC", "DSPC", "CHL1",
-    "CHOL", "PSM", "SDPC",
+    "POPC", "POPE", "POPS", "POPG", "DPPC", "DOPC", "DOPE", "DMPC", "DLPC", "DSPC", "CHL1", "CHOL",
+    "PSM", "SDPC",
 ];
 
 /// Monatomic ion residue names.
@@ -482,7 +482,12 @@ mod tests {
             let text = t.to_config();
             let back = Taxonomy::parse_config(&text).unwrap();
             for resname in ["ALA", "GLY", "SOL", "POPC", "SOD", "DA", "XYZ"] {
-                assert_eq!(t.tag_of(resname), back.tag_of(resname), "resname {}", resname);
+                assert_eq!(
+                    t.tag_of(resname),
+                    back.tag_of(resname),
+                    "resname {}",
+                    resname
+                );
             }
             assert_eq!(t.default_tag(), back.default_tag());
         }

@@ -2,7 +2,6 @@
 //! the stack needs: mass (memory/size accounting sanity checks) and covalent
 //! radius (bond inference in the renderer).
 
-
 /// Chemical element of an atom.
 ///
 /// Only elements that actually occur in MD systems of the GPCR kind are

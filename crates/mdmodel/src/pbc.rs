@@ -6,7 +6,6 @@
 //! distances for rectangular boxes, but the type keeps the full matrix so
 //! real triclinic XTC headers round-trip losslessly.
 
-
 /// A periodic simulation box described by three box vectors (rows).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PbcBox {

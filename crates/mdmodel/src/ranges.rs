@@ -108,15 +108,17 @@ impl IndexRanges {
     /// Whether `index` is covered.
     pub fn contains(&self, index: usize) -> bool {
         // Binary search over starts.
-        self.ranges.binary_search_by(|r| {
-            if index < r.start {
-                std::cmp::Ordering::Greater
-            } else if index >= r.end {
-                std::cmp::Ordering::Less
-            } else {
-                std::cmp::Ordering::Equal
-            }
-        }).is_ok()
+        self.ranges
+            .binary_search_by(|r| {
+                if index < r.start {
+                    std::cmp::Ordering::Greater
+                } else if index >= r.end {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
     }
 
     /// Iterate the contiguous ranges.
@@ -272,7 +274,10 @@ mod tests {
         r.push(11..15);
         assert_eq!(r.run_count(), 2);
         assert_eq!(r.count(), 2 + 5);
-        assert_eq!(r.iter_indices().collect::<Vec<_>>(), vec![0, 1, 10, 11, 12, 13, 14]);
+        assert_eq!(
+            r.iter_indices().collect::<Vec<_>>(),
+            vec![0, 1, 10, 11, 12, 13, 14]
+        );
     }
 
     #[test]
@@ -296,7 +301,10 @@ mod tests {
     #[test]
     fn complement_basics() {
         let a = IndexRanges::from_ranges([2..4, 6..8]);
-        assert_eq!(a.complement(10), IndexRanges::from_ranges([0..2, 4..6, 8..10]));
+        assert_eq!(
+            a.complement(10),
+            IndexRanges::from_ranges([0..2, 4..6, 8..10])
+        );
         assert_eq!(IndexRanges::new().complement(3), IndexRanges::single(0..3));
         assert_eq!(IndexRanges::single(0..3).complement(3), IndexRanges::new());
     }

@@ -54,18 +54,18 @@ impl Selection {
             Selection::All => IndexRanges::single(0..system.len()),
             Selection::None => IndexRanges::new(),
             Selection::Category(c) => system.category_ranges(*c),
-            Selection::ResName(names) => IndexRanges::from_indices(
-                system.atoms.iter().enumerate().filter_map(|(i, a)| {
+            Selection::ResName(names) => {
+                IndexRanges::from_indices(system.atoms.iter().enumerate().filter_map(|(i, a)| {
                     let r = a.resname.trim().to_ascii_uppercase();
                     names.contains(&r).then_some(i)
-                }),
-            ),
-            Selection::AtomName(names) => IndexRanges::from_indices(
-                system.atoms.iter().enumerate().filter_map(|(i, a)| {
+                }))
+            }
+            Selection::AtomName(names) => {
+                IndexRanges::from_indices(system.atoms.iter().enumerate().filter_map(|(i, a)| {
                     let n = a.name.trim().to_ascii_uppercase();
                     names.contains(&n).then_some(i)
-                }),
-            ),
+                }))
+            }
             Selection::Chain(chains) => IndexRanges::from_indices(
                 system
                     .atoms
@@ -73,7 +73,9 @@ impl Selection {
                     .enumerate()
                     .filter_map(|(i, a)| chains.contains(&a.chain).then_some(i)),
             ),
-            Selection::Index(a, b) => IndexRanges::single((*a).min(system.len())..(*b).min(system.len())),
+            Selection::Index(a, b) => {
+                IndexRanges::single((*a).min(system.len())..(*b).min(system.len()))
+            }
             Selection::Resid(lo, hi) => {
                 let mut out = IndexRanges::new();
                 for res in &system.residues {
@@ -85,9 +87,11 @@ impl Selection {
             }
             Selection::Backbone => {
                 let protein = system.category_ranges(Category::Protein);
-                IndexRanges::from_indices(protein.iter_indices().filter(|&i| {
-                    matches!(system.atoms[i].name.trim(), "N" | "CA" | "C" | "O")
-                }))
+                IndexRanges::from_indices(
+                    protein
+                        .iter_indices()
+                        .filter(|&i| matches!(system.atoms[i].name.trim(), "N" | "CA" | "C" | "O")),
+                )
             }
             Selection::Hydrogen => IndexRanges::from_indices(
                 system
@@ -159,7 +163,11 @@ fn tokenize(text: &str) -> Result<Vec<String>, String> {
                     tokens.push(std::mem::take(&mut cur));
                 }
             }
-            c if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '+' || c == '\''
+            c if c.is_ascii_alphanumeric()
+                || c == '_'
+                || c == '-'
+                || c == '+'
+                || c == '\''
                 || c == '.' =>
             {
                 cur.push(c)
@@ -223,9 +231,30 @@ impl Parser {
     fn is_keyword(word: &str) -> bool {
         matches!(
             word,
-            "and" | "or" | "not" | "(" | ")" | ":" | "protein" | "water" | "lipid" | "ion"
-                | "nucleic" | "ligand" | "all" | "none" | "resname" | "name" | "chain" | "index"
-                | "resid" | "backbone" | "hydrogen" | "noh" | "within" | "of"
+            "and"
+                | "or"
+                | "not"
+                | "("
+                | ")"
+                | ":"
+                | "protein"
+                | "water"
+                | "lipid"
+                | "ion"
+                | "nucleic"
+                | "ligand"
+                | "all"
+                | "none"
+                | "resname"
+                | "name"
+                | "chain"
+                | "index"
+                | "resid"
+                | "backbone"
+                | "hydrogen"
+                | "noh"
+                | "within"
+                | "of"
         )
     }
 
@@ -497,8 +526,8 @@ mod tests {
             [0.15, 0.0, 0.0],
             [0.3, 0.0, 0.0],
             [0.35, 0.0, 0.0],
-            [0.5, 0.0, 0.0],  // close water
-            [5.0, 5.0, 5.0],  // distant water
+            [0.5, 0.0, 0.0], // close water
+            [5.0, 5.0, 5.0], // distant water
         ];
         MolecularSystem::from_atoms("t", atoms, coords, PbcBox::zero())
     }
@@ -525,7 +554,9 @@ mod tests {
             .evaluate(&s);
         assert_eq!(sel.iter_indices().collect::<Vec<_>>(), vec![4]);
         // within includes the seed itself.
-        let sel2 = parse_selection("within 0.01 of protein").unwrap().evaluate(&s);
+        let sel2 = parse_selection("within 0.01 of protein")
+            .unwrap()
+            .evaluate(&s);
         assert_eq!(sel2.count(), 4);
     }
 

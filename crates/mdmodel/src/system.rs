@@ -84,7 +84,12 @@ pub struct MolecularSystem {
 impl MolecularSystem {
     /// Build a system from atoms + coordinates, deriving the residue table
     /// from (chain, resid, resname) change points.
-    pub fn from_atoms(title: impl Into<String>, atoms: Vec<Atom>, coords: Vec<[f32; 3]>, pbc: PbcBox) -> MolecularSystem {
+    pub fn from_atoms(
+        title: impl Into<String>,
+        atoms: Vec<Atom>,
+        coords: Vec<[f32; 3]>,
+        pbc: PbcBox,
+    ) -> MolecularSystem {
         assert_eq!(atoms.len(), coords.len(), "atoms and coords must align");
         let residues = derive_residues(&atoms);
         MolecularSystem {
@@ -149,7 +154,9 @@ impl MolecularSystem {
         let mut out: BTreeMap<Tag, IndexRanges> = BTreeMap::new();
         for res in &self.residues {
             let tag = taxonomy.tag_of(&res.name);
-            out.entry(tag).or_default().push(res.atom_start..res.atom_end);
+            out.entry(tag)
+                .or_default()
+                .push(res.atom_start..res.atom_end);
         }
         out
     }

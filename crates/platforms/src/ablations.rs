@@ -38,7 +38,10 @@ pub struct PolicyRow {
 /// Dispatch-policy ablation on the §4.2 cluster at `frames` frames.
 pub fn dispatch_policy_ablation(frames: u64) -> Vec<PolicyRow> {
     let policies: Vec<(&str, DispatchPolicy)> = vec![
-        ("hybrid (p->SSD, rest->HDD)", DispatchPolicy::hybrid_gpcr("pvfs-ssd", "pvfs-hdd")),
+        (
+            "hybrid (p->SSD, rest->HDD)",
+            DispatchPolicy::hybrid_gpcr("pvfs-ssd", "pvfs-hdd"),
+        ),
         ("all-SSD", DispatchPolicy::all_to("pvfs-ssd")),
         ("all-HDD", DispatchPolicy::all_to("pvfs-hdd")),
         (
@@ -60,8 +63,11 @@ pub fn dispatch_policy_ablation(frames: u64) -> Vec<PolicyRow> {
                 ..AdaConfig::paper_prototype("pvfs-ssd", "pvfs-hdd")
             };
             let ada = Ada::new(cfg, cs, ssd);
-            ada.ingest("bar", IngestInput::Synthetic(SyntheticDataset::gpcr_paper(frames)))
-                .expect("ingest");
+            ada.ingest(
+                "bar",
+                IngestInput::Synthetic(SyntheticDataset::gpcr_paper(frames)),
+            )
+            .expect("ingest");
             let qp = ada.query("bar", Some(&Tag::protein())).expect("query p");
             let qa = ada.query("bar", None).expect("query all");
             let ssd_bytes = ada

@@ -45,7 +45,10 @@ pub fn ingest_amortization(frames: u64) -> Amortization {
     };
     let ada = Ada::new(cfg, cs, ssd);
     let report = ada
-        .ingest("bar", IngestInput::Synthetic(SyntheticDataset::gpcr_paper(frames)))
+        .ingest(
+            "bar",
+            IngestInput::Synthetic(SyntheticDataset::gpcr_paper(frames)),
+        )
         .expect("ingest");
     let ingest_s = report.total().as_secs_f64();
 

@@ -85,7 +85,7 @@ impl Platform {
             base_fs: "XFS".into(),
             cpu: CpuProfile::xeon_e7_4820_v3_quad(),
             memory_bytes: 1007 * GB,
-            base_power_w: 100.0, // chassis + 1 TB DDR4
+            base_power_w: 100.0,    // chassis + 1 TB DDR4
             storage_active_w: 68.0, // 10 HDDs active
             storage_idle_w: 37.0,
             render_overhead_fraction: RENDER_OVERHEAD_FRACTION,

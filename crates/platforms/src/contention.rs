@@ -37,8 +37,7 @@ fn scale(d: SimDuration, k: f64) -> f64 {
 pub fn contended_turnaround(m: &RunMetrics, clients: usize, compute_nodes: usize) -> f64 {
     let storage_k = clients as f64;
     let cpu_k = clients.div_ceil(compute_nodes) as f64;
-    scale(m.retrieval + m.indexer, storage_k)
-        + scale(m.decompress + m.scan + m.render, cpu_k)
+    scale(m.retrieval + m.indexer, storage_k) + scale(m.decompress + m.scan + m.render, cpu_k)
 }
 
 /// Run the four cluster scenarios at `frames` for each client count.

@@ -9,7 +9,9 @@
 use crate::config::Platform;
 use crate::runner::{run_scenario, RunMetrics};
 use crate::scenario::Scenario;
-use ada_workload::calibration::{DatasetSpec, SizeRow, Table1Row, MB, PAPER_TABLE1, PAPER_TABLE2, PAPER_TABLE6};
+use ada_workload::calibration::{
+    DatasetSpec, SizeRow, Table1Row, MB, PAPER_TABLE1, PAPER_TABLE2, PAPER_TABLE6,
+};
 
 /// One data point of a figure.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,7 +65,11 @@ pub fn fig10_frames() -> Vec<u64> {
     PAPER_TABLE6.iter().map(|r| r.frames).collect()
 }
 
-fn grid(platform: &Platform, scenarios: &[Scenario], frames: &[u64]) -> Vec<(String, Vec<RunMetrics>)> {
+fn grid(
+    platform: &Platform,
+    scenarios: &[Scenario],
+    frames: &[u64],
+) -> Vec<(String, Vec<RunMetrics>)> {
     scenarios
         .iter()
         .map(|&s| {
@@ -110,12 +116,20 @@ pub fn fig7() -> [FigureSeries; 3] {
     let p = Platform::ssd_server();
     let g = grid(&p, &Scenario::ALL, &fig7_frames());
     [
-        figure("Fig. 7a", "SSD server: raw data retrieval time", "s", &g, |m| {
-            (m.retrieval + m.indexer).as_secs_f64()
-        }),
-        figure("Fig. 7b", "SSD server: data processing turnaround time", "s", &g, |m| {
-            m.turnaround().as_secs_f64()
-        }),
+        figure(
+            "Fig. 7a",
+            "SSD server: raw data retrieval time",
+            "s",
+            &g,
+            |m| (m.retrieval + m.indexer).as_secs_f64(),
+        ),
+        figure(
+            "Fig. 7b",
+            "SSD server: data processing turnaround time",
+            "s",
+            &g,
+            |m| m.turnaround().as_secs_f64(),
+        ),
         figure("Fig. 7c", "SSD server: memory usage", "MB", &g, |m| {
             m.mem_peak_bytes as f64 / MB
         }),
@@ -155,12 +169,20 @@ pub fn fig9() -> [FigureSeries; 3] {
     let p = Platform::cluster9();
     let g = grid(&p, &Scenario::ALL, &fig9_frames());
     [
-        figure("Fig. 9a", "Cluster: raw data retrieval time", "s", &g, |m| {
-            (m.retrieval + m.indexer).as_secs_f64()
-        }),
-        figure("Fig. 9b", "Cluster: data processing turnaround time", "s", &g, |m| {
-            m.turnaround().as_secs_f64()
-        }),
+        figure(
+            "Fig. 9a",
+            "Cluster: raw data retrieval time",
+            "s",
+            &g,
+            |m| (m.retrieval + m.indexer).as_secs_f64(),
+        ),
+        figure(
+            "Fig. 9b",
+            "Cluster: data processing turnaround time",
+            "s",
+            &g,
+            |m| m.turnaround().as_secs_f64(),
+        ),
         figure("Fig. 9c", "Cluster: memory usage", "MB", &g, |m| {
             m.mem_peak_bytes as f64 / MB
         }),
@@ -168,24 +190,37 @@ pub fn fig9() -> [FigureSeries; 3] {
 }
 
 /// The three fat-node scenarios of Fig. 10.
-pub const FIG10_SCENARIOS: [Scenario; 3] =
-    [Scenario::CTraditional, Scenario::AdaAll, Scenario::AdaProtein];
+pub const FIG10_SCENARIOS: [Scenario; 3] = [
+    Scenario::CTraditional,
+    Scenario::AdaAll,
+    Scenario::AdaProtein,
+];
 
 /// Fig. 10 (a, b, c, d): fat node.
 pub fn fig10() -> [FigureSeries; 4] {
     let p = Platform::fatnode();
     let g = grid(&p, &FIG10_SCENARIOS, &fig10_frames());
     [
-        figure("Fig. 10a", "Fat node: raw data retrieval time", "s", &g, |m| {
-            (m.retrieval + m.indexer).as_secs_f64()
-        }),
-        figure("Fig. 10b", "Fat node: data processing turnaround time", "min", &g, |m| {
-            m.turnaround().as_secs_f64() / 60.0
-        }),
+        figure(
+            "Fig. 10a",
+            "Fat node: raw data retrieval time",
+            "s",
+            &g,
+            |m| (m.retrieval + m.indexer).as_secs_f64(),
+        ),
+        figure(
+            "Fig. 10b",
+            "Fat node: data processing turnaround time",
+            "min",
+            &g,
+            |m| m.turnaround().as_secs_f64() / 60.0,
+        ),
         figure("Fig. 10c", "Fat node: memory usage", "GB", &g, |m| {
             m.mem_peak_bytes as f64 / 1e9
         }),
-        figure("Fig. 10d", "Fat node: energy consumption", "kJ", &g, |m| m.energy_kj),
+        figure("Fig. 10d", "Fat node: energy consumption", "kJ", &g, |m| {
+            m.energy_kj
+        }),
     ]
 }
 
@@ -310,7 +345,12 @@ mod tests {
         assert!(!killed_from[idx_1876800 - 1]);
         assert!(killed_from[idx_1876800]);
         // ADA(protein) survives past 2x the XFS kill point.
-        let prot = &c.series.iter().find(|(l, _)| l == "ADA (protein)").unwrap().1;
+        let prot = &c
+            .series
+            .iter()
+            .find(|(l, _)| l == "ADA (protein)")
+            .unwrap()
+            .1;
         let idx_4379200 = fig10_frames().iter().position(|&f| f == 4_379_200).unwrap();
         assert!(!prot[idx_4379200].killed);
         assert!(prot[idx_4379200 + 1].killed);

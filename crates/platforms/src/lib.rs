@@ -19,10 +19,10 @@
 
 pub mod ablations;
 pub mod amortization;
-pub mod contention;
-pub mod playback;
 pub mod config;
+pub mod contention;
 pub mod figures;
+pub mod playback;
 pub mod report;
 pub mod runner;
 pub mod scenario;

@@ -78,10 +78,7 @@ mod tests {
         let t = format_table(
             "Demo",
             &["a", "long-header"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         assert!(t.contains("Demo"));
         assert!(t.contains("| a   | long-header |"));

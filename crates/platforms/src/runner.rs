@@ -214,8 +214,11 @@ pub fn run_scenario(platform: &Platform, scenario: Scenario, frames: u64) -> Run
     let mut mem = MemoryTracker::new(platform.memory_bytes);
     let mut killed = None;
     if scenario == Scenario::CTraditional {
-        mem.alloc("stream-buffer", STREAM_BUFFER_BYTES.min(spec.compressed_bytes))
-            .expect("stream buffer always fits");
+        mem.alloc(
+            "stream-buffer",
+            STREAM_BUFFER_BYTES.min(spec.compressed_bytes),
+        )
+        .expect("stream buffer always fits");
     }
     match mem.alloc("frames", frames_bytes) {
         Ok(()) => {
@@ -312,7 +315,12 @@ mod tests {
         assert!(prot.retrieval < d.retrieval);
         let d_t = d.retrieval.as_secs_f64();
         let all_t = (all.retrieval + all.indexer).as_secs_f64();
-        assert!(all_t > d_t, "ADA(all) {} should exceed D-ext4 {}", all_t, d_t);
+        assert!(
+            all_t > d_t,
+            "ADA(all) {} should exceed D-ext4 {}",
+            all_t,
+            d_t
+        );
         assert!(all_t < d_t * 1.2, "but only slightly: {} vs {}", all_t, d_t);
     }
 
@@ -402,10 +410,28 @@ mod tests {
         let all = run_scenario(&p, Scenario::AdaAll, frames);
         let prot = run_scenario(&p, Scenario::AdaProtein, frames);
         // Paper: XFS > 12,500 kJ; ADA(all) < 5,000; ADA(protein) ≈ 2,200.
-        assert!(xfs.energy_kj > 3.0 * all.energy_kj, "xfs {} vs all {}", xfs.energy_kj, all.energy_kj);
-        assert!(all.energy_kj > prot.energy_kj, "all {} vs protein {}", all.energy_kj, prot.energy_kj);
-        assert!(xfs.energy_kj > 10_000.0 && xfs.energy_kj < 25_000.0, "xfs {}", xfs.energy_kj);
-        assert!(prot.energy_kj > 800.0 && prot.energy_kj < 4_000.0, "protein {}", prot.energy_kj);
+        assert!(
+            xfs.energy_kj > 3.0 * all.energy_kj,
+            "xfs {} vs all {}",
+            xfs.energy_kj,
+            all.energy_kj
+        );
+        assert!(
+            all.energy_kj > prot.energy_kj,
+            "all {} vs protein {}",
+            all.energy_kj,
+            prot.energy_kj
+        );
+        assert!(
+            xfs.energy_kj > 10_000.0 && xfs.energy_kj < 25_000.0,
+            "xfs {}",
+            xfs.energy_kj
+        );
+        assert!(
+            prot.energy_kj > 800.0 && prot.energy_kj < 4_000.0,
+            "protein {}",
+            prot.energy_kj
+        );
     }
 
     #[test]

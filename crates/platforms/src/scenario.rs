@@ -1,6 +1,5 @@
 //! The Table 3 notation as a type.
 
-
 /// One evaluated configuration (Table 3).
 ///
 /// * `C` — VMD loads a compressed XTC file.

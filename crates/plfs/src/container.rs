@@ -249,10 +249,7 @@ impl ContainerSet {
         Ok(tags)
     }
 
-    fn read_records(
-        &self,
-        records: &[IndexRecord],
-    ) -> Result<(Content, SimDuration), PlfsError> {
+    fn read_records(&self, records: &[IndexRecord]) -> Result<(Content, SimDuration), PlfsError> {
         // Fetch droppings; per-backend costs serialize, across backends they
         // overlap (the PLFS read plan fans out to every backend at once).
         let mut per_backend: BTreeMap<&str, SimDuration> = BTreeMap::new();
@@ -261,7 +258,9 @@ impl ContainerSet {
             let fs = self.backend(&r.backend)?;
             let (content, d) = fs.read(&r.dropping_path)?;
             count_op(&r.backend, "read", content.len());
-            *per_backend.entry(r.backend.as_str()).or_insert(SimDuration::ZERO) += d;
+            *per_backend
+                .entry(r.backend.as_str())
+                .or_insert(SimDuration::ZERO) += d;
             parts.push(content);
         }
         let duration = per_backend
@@ -307,10 +306,7 @@ impl ContainerSet {
 
     /// Read one dropping by its index record (the retriever's unit
     /// operation).
-    pub fn read_dropping(
-        &self,
-        record: &IndexRecord,
-    ) -> Result<(Content, SimDuration), PlfsError> {
+    pub fn read_dropping(&self, record: &IndexRecord) -> Result<(Content, SimDuration), PlfsError> {
         let fs = self.backend(&record.backend)?;
         let (content, d) = fs.read(&record.dropping_path)?;
         count_op(&record.backend, "read", content.len());
@@ -360,9 +356,7 @@ impl ContainerSet {
             total += rd;
             // New dropping path under the target mount keeps the container
             // naming scheme.
-            let new_path = record
-                .dropping_path
-                .replacen(&record.backend, target, 1);
+            let new_path = record.dropping_path.replacen(&record.backend, target, 1);
             total += target_fs.create(&new_path, content)?;
             source_fs.delete(&record.dropping_path)?;
             let mut g = self.containers.lock();
@@ -408,7 +402,11 @@ impl ContainerSet {
         let records: Vec<IndexRecord> = ada_json::parse(bytes)
             .and_then(|v| v.as_arr()?.iter().map(IndexRecord::from_json).collect())
             .map_err(|e| PlfsError::CorruptIndex(e.to_string()))?;
-        let logical_len = records.iter().map(|r| r.logical_offset + r.len).max().unwrap_or(0);
+        let logical_len = records
+            .iter()
+            .map(|r| r.logical_offset + r.len)
+            .max()
+            .unwrap_or(0);
         let next_seq = records.len() as u64;
         self.containers.lock().insert(
             logical.to_string(),
@@ -468,9 +466,12 @@ mod tests {
     fn read_all_reassembles_in_logical_order() {
         let cs = two_backend_set();
         cs.create_logical("bar").unwrap();
-        cs.append_tagged("bar", "p", "mnt1", Content::real(vec![1u8, 1])).unwrap();
-        cs.append_tagged("bar", "m", "mnt2", Content::real(vec![2u8, 2, 2])).unwrap();
-        cs.append_tagged("bar", "p", "mnt1", Content::real(vec![3u8])).unwrap();
+        cs.append_tagged("bar", "p", "mnt1", Content::real(vec![1u8, 1]))
+            .unwrap();
+        cs.append_tagged("bar", "m", "mnt2", Content::real(vec![2u8, 2, 2]))
+            .unwrap();
+        cs.append_tagged("bar", "p", "mnt1", Content::real(vec![3u8]))
+            .unwrap();
         let (c, _) = cs.read_all("bar").unwrap();
         assert_eq!(c.as_real().unwrap().as_ref(), &[1, 1, 2, 2, 2, 3]);
     }
@@ -479,9 +480,12 @@ mod tests {
     fn read_tagged_filters() {
         let cs = two_backend_set();
         cs.create_logical("bar").unwrap();
-        cs.append_tagged("bar", "p", "mnt1", Content::real(vec![1u8, 1])).unwrap();
-        cs.append_tagged("bar", "m", "mnt2", Content::real(vec![2u8, 2, 2])).unwrap();
-        cs.append_tagged("bar", "p", "mnt1", Content::real(vec![3u8])).unwrap();
+        cs.append_tagged("bar", "p", "mnt1", Content::real(vec![1u8, 1]))
+            .unwrap();
+        cs.append_tagged("bar", "m", "mnt2", Content::real(vec![2u8, 2, 2]))
+            .unwrap();
+        cs.append_tagged("bar", "p", "mnt1", Content::real(vec![3u8]))
+            .unwrap();
         let (p, _) = cs.read_tagged("bar", "p").unwrap();
         assert_eq!(p.as_real().unwrap().as_ref(), &[1, 1, 3]);
         let (m, _) = cs.read_tagged("bar", "m").unwrap();
@@ -498,8 +502,10 @@ mod tests {
         let cs = two_backend_set();
         cs.create_logical("bar").unwrap();
         let mb = 1_000_000u64;
-        cs.append_tagged("bar", "p", "mnt1", Content::synthetic(400 * mb)).unwrap();
-        cs.append_tagged("bar", "m", "mnt2", Content::synthetic(600 * mb)).unwrap();
+        cs.append_tagged("bar", "p", "mnt1", Content::synthetic(400 * mb))
+            .unwrap();
+        cs.append_tagged("bar", "m", "mnt2", Content::synthetic(600 * mb))
+            .unwrap();
         let (_, tp) = cs.read_tagged("bar", "p").unwrap();
         let (_, tall) = cs.read_all("bar").unwrap();
         // 400 MB from NVMe ≈ 0.13 s; the full read is bounded by 600 MB
@@ -514,8 +520,10 @@ mod tests {
         cs.create_logical("bar").unwrap();
         let gb = 1_000_000_000u64;
         // 3 GB on NVMe (~1 s) and 0.126 GB on HDD (~1 s).
-        cs.append_tagged("bar", "p", "mnt1", Content::synthetic(3 * gb)).unwrap();
-        cs.append_tagged("bar", "m", "mnt2", Content::synthetic(126_000_000)).unwrap();
+        cs.append_tagged("bar", "p", "mnt1", Content::synthetic(3 * gb))
+            .unwrap();
+        cs.append_tagged("bar", "m", "mnt2", Content::synthetic(126_000_000))
+            .unwrap();
         let (_, d) = cs.read_all("bar").unwrap();
         let secs = d.as_secs_f64();
         assert!(secs > 0.9 && secs < 1.3, "expected ~max(1,1)={}", secs);
@@ -544,8 +552,10 @@ mod tests {
     fn index_persists_and_reloads() {
         let cs = two_backend_set();
         cs.create_logical("bar").unwrap();
-        cs.append_tagged("bar", "p", "mnt1", Content::real(vec![1u8; 10])).unwrap();
-        cs.append_tagged("bar", "m", "mnt2", Content::real(vec![2u8; 20])).unwrap();
+        cs.append_tagged("bar", "p", "mnt1", Content::real(vec![1u8; 10]))
+            .unwrap();
+        cs.append_tagged("bar", "m", "mnt2", Content::real(vec![2u8; 20]))
+            .unwrap();
         cs.persist_index("bar").unwrap();
         let before = cs.index("bar").unwrap();
         // Wipe the in-memory index, reload from storage.
@@ -563,9 +573,47 @@ mod tests {
     fn synthetic_droppings_flow_through() {
         let cs = two_backend_set();
         cs.create_logical("big").unwrap();
-        cs.append_tagged("big", "p", "mnt1", Content::synthetic(1 << 35)).unwrap();
+        cs.append_tagged("big", "p", "mnt1", Content::synthetic(1 << 35))
+            .unwrap();
         let (c, _) = cs.read_tagged("big", "p").unwrap();
         assert_eq!(c.len(), 1 << 35);
         assert!(!c.is_real());
+    }
+
+    // ADA's parallel query path shares one ContainerSet across reader
+    // threads, so the set must be usable from multiple threads at once.
+    const _: fn() = || {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ContainerSet>();
+    };
+
+    #[test]
+    fn concurrent_dropping_reads_see_consistent_bytes() {
+        let cs = Arc::new(two_backend_set());
+        cs.create_logical("bar").unwrap();
+        // One distinct dropping per (tag, seq): payload bytes identify it.
+        for i in 0..8u8 {
+            let backend = if i % 2 == 0 { "mnt1" } else { "mnt2" };
+            cs.append_tagged("bar", "p", backend, Content::real(vec![i; 64]))
+                .unwrap();
+        }
+        let records = cs.index("bar").unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cs = Arc::clone(&cs);
+            let records = records.clone();
+            handles.push(std::thread::spawn(move || {
+                for r in &records {
+                    let (content, _) = cs.read_dropping(r).unwrap();
+                    let expect = (r.dropping_path.rsplit('.').next().unwrap())
+                        .parse::<u8>()
+                        .unwrap();
+                    assert_eq!(content.as_real().unwrap().as_ref(), &[expect; 64][..]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

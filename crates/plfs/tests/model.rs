@@ -29,7 +29,11 @@ struct Op {
 
 fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
-        (0usize..4, 0usize..3, prop::collection::vec(any::<u8>(), 0..200)),
+        (
+            0usize..4,
+            0usize..3,
+            prop::collection::vec(any::<u8>(), 0..200),
+        ),
         1..40,
     )
     .prop_map(|v| {

@@ -231,10 +231,7 @@ mod tests {
         assert_eq!(sl.as_real().unwrap().as_ref(), &[2, 3, 4, 5, 6]);
         let s = Content::synthetic(100);
         assert_eq!(s.slice(10, 50).unwrap().len(), 50);
-        assert!(matches!(
-            r.slice(8, 5),
-            Err(FsError::OutOfRange { .. })
-        ));
+        assert!(matches!(r.slice(8, 5), Err(FsError::OutOfRange { .. })));
     }
 
     #[test]

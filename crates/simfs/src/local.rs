@@ -286,7 +286,9 @@ mod tests {
     fn create_read_roundtrip() {
         let fs = LocalFs::ext4_on_nvme();
         let data: Vec<u8> = (0..100).collect();
-        let wd = fs.create("/mnt/foo.xtc", Content::real(data.clone())).unwrap();
+        let wd = fs
+            .create("/mnt/foo.xtc", Content::real(data.clone()))
+            .unwrap();
         assert!(wd.as_secs_f64() > 0.0);
         let (content, rd) = fs.read("/mnt/foo.xtc").unwrap();
         assert_eq!(content.as_real().unwrap().as_ref(), &data[..]);
@@ -333,14 +335,17 @@ mod tests {
     #[test]
     fn capacity_enforced() {
         let fs = LocalFs::ext4_on_nvme(); // 256 GB
-        fs.create("/big", Content::synthetic(200_000_000_000)).unwrap();
+        fs.create("/big", Content::synthetic(200_000_000_000))
+            .unwrap();
         assert!(matches!(
             fs.create("/big2", Content::synthetic(100_000_000_000)),
             Err(FsError::NoSpace { .. })
         ));
         // Delete frees space.
         fs.delete("/big").unwrap();
-        assert!(fs.create("/big2", Content::synthetic(100_000_000_000)).is_ok());
+        assert!(fs
+            .create("/big2", Content::synthetic(100_000_000_000))
+            .is_ok());
     }
 
     #[test]
@@ -349,7 +354,10 @@ mod tests {
         for p in ["/mnt/a", "/mnt/b", "/other/c"] {
             fs.create(p, Content::synthetic(1)).unwrap();
         }
-        assert_eq!(fs.list("/mnt/"), vec!["/mnt/a".to_string(), "/mnt/b".to_string()]);
+        assert_eq!(
+            fs.list("/mnt/"),
+            vec!["/mnt/a".to_string(), "/mnt/b".to_string()]
+        );
         assert_eq!(fs.list(""), vec!["/mnt/a", "/mnt/b", "/other/c"]);
         assert!(fs.list("/zzz").is_empty());
     }
@@ -359,7 +367,11 @@ mod tests {
         let fs = LocalFs::ext4_on_nvme();
         fs.create("/f", Content::synthetic(3_000_000_000)).unwrap();
         let (_, d) = fs.read("/f").unwrap();
-        assert!((d.as_secs_f64() - 1.0).abs() < 0.01, "t = {}", d.as_secs_f64());
+        assert!(
+            (d.as_secs_f64() - 1.0).abs() < 0.01,
+            "t = {}",
+            d.as_secs_f64()
+        );
     }
 
     #[test]

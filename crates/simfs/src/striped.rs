@@ -151,7 +151,11 @@ impl StripedFs {
         let mut disk = SimDuration::ZERO;
         for (srv, &share) in g.servers.iter_mut().zip(&shares) {
             if share > 0 || len == 0 {
-                let mut d = if write { srv.write(share) } else { srv.read(share) };
+                let mut d = if write {
+                    srv.write(share)
+                } else {
+                    srv.read(share)
+                };
                 if let Some(egress) = self.params.server_egress_bw {
                     // A server cannot ship data faster than its NIC.
                     let net = SimDuration::from_secs_f64(share as f64 / egress);
@@ -336,7 +340,11 @@ mod tests {
         let bytes = 510_000_000u64;
         fs.create("/f", Content::synthetic(bytes)).unwrap();
         let (_, d) = fs.read("/f").unwrap();
-        assert!((d.as_secs_f64() - 1.0).abs() < 0.05, "t = {}", d.as_secs_f64());
+        assert!(
+            (d.as_secs_f64() - 1.0).abs() < 0.05,
+            "t = {}",
+            d.as_secs_f64()
+        );
     }
 
     #[test]
@@ -381,7 +389,9 @@ mod tests {
     #[test]
     fn capacity_is_aggregate() {
         let fs = StripedFs::pvfs_ssd_3nodes(); // 3 × 512 GB = 1.536 TB
-        assert!(fs.create("/a", Content::synthetic(1_500_000_000_000)).is_ok());
+        assert!(fs
+            .create("/a", Content::synthetic(1_500_000_000_000))
+            .is_ok());
         assert!(matches!(
             fs.create("/b", Content::synthetic(100_000_000_000)),
             Err(FsError::NoSpace { .. })

@@ -103,7 +103,12 @@ impl TraceLog {
 
     /// Total bytes moved by ops matching a filter.
     pub fn bytes_where(&self, pred: impl Fn(&TraceEvent) -> bool) -> u64 {
-        self.events.lock().iter().filter(|e| pred(e)).map(|e| e.bytes).sum()
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| pred(e))
+            .map(|e| e.bytes)
+            .sum()
     }
 
     /// Events touching paths containing `needle`.

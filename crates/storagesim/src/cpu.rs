@@ -143,8 +143,14 @@ mod tests {
         // The Fig. 8 structure: for the same delivered volume decompression
         // takes ~5x the render time.
         let cpu = CpuProfile::xeon_e5_2603_v4();
-        let d = CpuWork::Decompress { out_bytes: 1_000_000_000 }.duration(&cpu);
-        let r = CpuWork::Render { bytes: 1_000_000_000 }.duration(&cpu);
+        let d = CpuWork::Decompress {
+            out_bytes: 1_000_000_000,
+        }
+        .duration(&cpu);
+        let r = CpuWork::Render {
+            bytes: 1_000_000_000,
+        }
+        .duration(&cpu);
         let ratio = d.as_secs_f64() / r.as_secs_f64();
         assert!(ratio > 4.0 && ratio < 7.0, "ratio {}", ratio);
     }

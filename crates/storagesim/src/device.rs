@@ -253,8 +253,7 @@ mod tests {
         let hdd = DeviceProfile::wd_hdd_1tb();
         let ssd = DeviceProfile::plextor_ssd_256gb();
         let bytes = 1_000_000_000;
-        let ratio =
-            hdd.read_time(bytes).as_secs_f64() / ssd.read_time(bytes).as_secs_f64();
+        let ratio = hdd.read_time(bytes).as_secs_f64() / ssd.read_time(bytes).as_secs_f64();
         // 3000/126 ≈ 23.8x on pure bandwidth.
         assert!(ratio > 20.0 && ratio < 26.0, "ratio {}", ratio);
     }

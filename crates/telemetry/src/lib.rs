@@ -333,7 +333,10 @@ mod tests {
             }
         });
         assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
-        assert_eq!(reg.snapshot().counters["stress"], THREADS as u64 * PER_THREAD);
+        assert_eq!(
+            reg.snapshot().counters["stress"],
+            THREADS as u64 * PER_THREAD
+        );
     }
 
     #[test]
@@ -375,17 +378,37 @@ mod tests {
         let json = reg.snapshot().to_json();
         let parsed = ada_json::parse(&json.to_vec()).unwrap();
         assert_eq!(
-            parsed.field("counters").unwrap().field("ops").unwrap().as_u64().unwrap(),
+            parsed
+                .field("counters")
+                .unwrap()
+                .field("ops")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
             7
         );
         assert_eq!(
-            parsed.field("gauges").unwrap().field("queue").unwrap()
-                .field("high_water").unwrap().as_u64().unwrap(),
+            parsed
+                .field("gauges")
+                .unwrap()
+                .field("queue")
+                .unwrap()
+                .field("high_water")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
             3
         );
         assert_eq!(
-            parsed.field("histograms").unwrap().field("lat").unwrap()
-                .field("count").unwrap().as_u64().unwrap(),
+            parsed
+                .field("histograms")
+                .unwrap()
+                .field("lat")
+                .unwrap()
+                .field("count")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
             1
         );
     }

@@ -189,7 +189,11 @@ mod tests {
         let rg = radius_of_gyration(&sys, &frames[0].coords);
         assert!(rg > 0.5 && rg < 20.0, "rg {}", rg);
         // Doubling all coordinates doubles Rg.
-        let scaled: Vec<[f32; 3]> = frames[0].coords.iter().map(|c| [c[0] * 2.0, c[1] * 2.0, c[2] * 2.0]).collect();
+        let scaled: Vec<[f32; 3]> = frames[0]
+            .coords
+            .iter()
+            .map(|c| [c[0] * 2.0, c[1] * 2.0, c[2] * 2.0])
+            .collect();
         let rg2 = radius_of_gyration(&sys, &scaled);
         assert!((rg2 / rg - 2.0).abs() < 1e-3);
     }

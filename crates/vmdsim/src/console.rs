@@ -109,9 +109,7 @@ impl VmdConsole {
                     .ok_or_else(|| AdaError::Pdb("no ADA middleware mounted".into()))?;
                 let dataset = dataset_of(file);
                 let t = Tag::new(*tag);
-                let n = self
-                    .session
-                    .mol_addfile_ada(id, &ada, dataset, Some(&t))?;
+                let n = self.session.mol_addfile_ada(id, &ada, dataset, Some(&t))?;
                 Ok(format!(
                     "mol {}: loaded {} frames (tag {}) from ADA:{}",
                     id.0, n, tag, dataset
@@ -120,9 +118,7 @@ impl VmdConsole {
             ["mol", "addrep", style, selection @ ..] if !selection.is_empty() => {
                 let id = self.require_top()?;
                 let style = parse_style(style)?;
-                let rep = self
-                    .session
-                    .mol_addrep(id, &selection.join(" "), style)?;
+                let rep = self.session.mol_addrep(id, &selection.join(" "), style)?;
                 Ok(format!("mol {}: rep {} added", id.0, rep))
             }
             ["mol", "showrep", rep, flag] => {
@@ -132,17 +128,18 @@ impl VmdConsole {
                     .map_err(|_| AdaError::Pdb(format!("bad rep index '{}'", rep)))?;
                 let visible = matches!(*flag, "on" | "1" | "true");
                 self.session.mol_showrep(id, rep, visible);
-                Ok(format!("mol {}: rep {} {}", id.0, rep, if visible { "on" } else { "off" }))
+                Ok(format!(
+                    "mol {}: rep {} {}",
+                    id.0,
+                    rep,
+                    if visible { "on" } else { "off" }
+                ))
             }
             ["animate"] => {
                 let id = self.require_top()?;
                 let stats = self.session.animate(id, &RenderOptions::default(), 4);
                 let px: usize = stats.iter().map(|s| s.pixels_filled).sum();
-                Ok(format!(
-                    "animated {} frames, {} px total",
-                    stats.len(),
-                    px
-                ))
+                Ok(format!("animated {} frames, {} px total", stats.len(), px))
             }
             _ => Err(AdaError::Pdb(format!("unknown command: '{}'", line))),
         }
@@ -197,11 +194,7 @@ mod tests {
             ("ssd".into(), ssd.clone()),
             ("hdd".into(), hdd),
         ]));
-        let ada = Arc::new(Ada::new(
-            AdaConfig::paper_prototype("ssd", "hdd"),
-            cs,
-            ssd,
-        ));
+        let ada = Arc::new(Ada::new(AdaConfig::paper_prototype("ssd", "hdd"), cs, ssd));
         ada.ingest(
             "bar",
             IngestInput::Real {

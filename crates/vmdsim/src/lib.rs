@@ -24,8 +24,8 @@ pub mod playback;
 pub mod profiler;
 pub mod render;
 
-pub use console::VmdConsole;
 pub use analysis::{center_of_mass, com_drift, radius_of_gyration, rmsd, rmsd_series, rmsf};
+pub use console::VmdConsole;
 pub use mol::{MolId, Molecule, Representation, VmdSession};
 pub use playback::{AccessPattern, FrameCache, ReplayStats};
 pub use profiler::PhaseProfiler;

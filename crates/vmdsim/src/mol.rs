@@ -8,11 +8,11 @@
 //! $ mol addfile /mnt/bar.xtc tag p     # ADA: fetch the protein subset
 //! ```
 
+use crate::render::{render_frame, render_trajectory, DrawStyle, RenderOptions, RenderStats};
 use ada_core::{Ada, AdaError, RetrievedData};
 use ada_mdformats::pdb::parse_pdb;
 use ada_mdformats::{read_xtc, Frame};
 use ada_mdmodel::{infer_bonds, parse_selection, Bond, IndexRanges, MolecularSystem, Tag};
-use crate::render::{render_frame, render_trajectory, DrawStyle, RenderOptions, RenderStats};
 
 /// One representation of a molecule: a selection drawn in a style (VMD's
 /// `mol addrep` / `mol modselect` / `mol modstyle`).
@@ -56,6 +56,7 @@ impl Molecule {
 #[derive(Debug, Default)]
 pub struct VmdSession {
     molecules: Vec<Molecule>,
+    last_query_profile: Option<ada_core::StageProfile>,
 }
 
 impl VmdSession {
@@ -69,6 +70,14 @@ impl VmdSession {
         &self.molecules
     }
 
+    /// Stage attribution of the most recent ADA-backed `mol addfile`
+    /// (present when telemetry is enabled): where the retrieval spent its
+    /// time — index, per-backend read, decode, reassemble — so playback
+    /// tooling can report load latency without reaching into ADA.
+    pub fn last_query_profile(&self) -> Option<&ada_core::StageProfile> {
+        self.last_query_profile.as_ref()
+    }
+
     /// Access one molecule.
     pub fn molecule(&self, id: MolId) -> &Molecule {
         &self.molecules[id.0]
@@ -77,7 +86,11 @@ impl VmdSession {
     /// `mol new foo.pdb` — load a structure, derive bonds.
     pub fn mol_new(&mut self, pdb_text: &str) -> Result<MolId, AdaError> {
         let system = parse_pdb(pdb_text).map_err(|e| AdaError::Pdb(e.to_string()))?;
-        let bonds = infer_bonds(&system, &system.coords, ada_mdmodel::bonds::DEFAULT_TOLERANCE);
+        let bonds = infer_bonds(
+            &system,
+            &system.coords,
+            ada_mdmodel::bonds::DEFAULT_TOLERANCE,
+        );
         self.molecules.push(Molecule {
             system,
             frames: Vec::new(),
@@ -116,6 +129,7 @@ impl VmdSession {
         tag: Option<&Tag>,
     ) -> Result<usize, AdaError> {
         let report = ada.query(dataset, tag)?;
+        self.last_query_profile = report.profile.clone();
         let traj = match report.data {
             RetrievedData::Real(t) => t,
             RetrievedData::Synthetic { .. } => {
@@ -185,7 +199,12 @@ impl VmdSession {
     /// Render one frame through the molecule's representations: each
     /// visible rep draws its selection in its own style; per-rep stats are
     /// returned in rep order (hidden reps yield empty stats).
-    pub fn render_reps(&self, id: MolId, frame_idx: usize, opts: &RenderOptions) -> Vec<RenderStats> {
+    pub fn render_reps(
+        &self,
+        id: MolId,
+        frame_idx: usize,
+        opts: &RenderOptions,
+    ) -> Vec<RenderStats> {
         let mol = &self.molecules[id.0];
         let frame = &mol.frames[frame_idx];
         // One coordinate buffer reused across reps (gather_into), instead
@@ -369,6 +388,24 @@ mod tests {
             vmd.mol_addfile_xtc(id, &bad_xtc),
             Err(AdaError::AtomMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn ada_load_retains_query_profile() {
+        let (ada, _w, pdb_text, _) = setup();
+        let mut vmd = VmdSession::new();
+        assert!(vmd.last_query_profile().is_none());
+        let id = vmd.mol_new(&pdb_text).unwrap();
+        vmd.mol_addfile_ada(id, &ada, "bar", Some(&Tag::protein()))
+            .unwrap();
+        let p = vmd.last_query_profile().expect("telemetry on by default");
+        assert_eq!(p.mode, "query_parallel");
+        for stage in ["index", "read", "decode", "reassemble"] {
+            assert!(p.stages_ns.contains_key(stage), "missing stage {}", stage);
+        }
+        // A failed load leaves the previous profile in place.
+        assert!(vmd.mol_addfile_ada(id, &ada, "nope", None).is_err());
+        assert!(vmd.last_query_profile().is_some());
     }
 
     #[test]

@@ -245,9 +245,21 @@ mod tests {
 
     #[test]
     fn random_pattern_deterministic() {
-        let a = AccessPattern::Random { count: 100, seed: 9 }.sequence(40);
-        let b = AccessPattern::Random { count: 100, seed: 9 }.sequence(40);
-        let c = AccessPattern::Random { count: 100, seed: 10 }.sequence(40);
+        let a = AccessPattern::Random {
+            count: 100,
+            seed: 9,
+        }
+        .sequence(40);
+        let b = AccessPattern::Random {
+            count: 100,
+            seed: 9,
+        }
+        .sequence(40);
+        let c = AccessPattern::Random {
+            count: 100,
+            seed: 10,
+        }
+        .sequence(40);
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert!(a.iter().all(|&i| i < 40));

@@ -175,8 +175,8 @@ pub fn render_frame(
     }
 
     let mut bonds_drawn = 0usize;
-    let bonds_visible = opts.draw_bonds
-        && matches!(opts.style, DrawStyle::Lines | DrawStyle::Licorice);
+    let bonds_visible =
+        opts.draw_bonds && matches!(opts.style, DrawStyle::Lines | DrawStyle::Licorice);
     if bonds_visible {
         let thick = opts.style == DrawStyle::Licorice;
         for b in bonds {
@@ -289,7 +289,9 @@ pub fn render_trajectory(
         }
     })
     .expect("render worker panicked");
-    out.into_iter().map(|s| s.expect("frame rendered")).collect()
+    out.into_iter()
+        .map(|s| s.expect("frame rendered"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -299,7 +301,11 @@ mod tests {
 
     fn workload() -> (MolecularSystem, Vec<ada_mdformats::Frame>, Vec<Bond>) {
         let w = ada_workload::gpcr_workload(1200, 4, 21);
-        let bonds = infer_bonds(&w.system, &w.system.coords, ada_mdmodel::bonds::DEFAULT_TOLERANCE);
+        let bonds = infer_bonds(
+            &w.system,
+            &w.system.coords,
+            ada_mdmodel::bonds::DEFAULT_TOLERANCE,
+        );
         (w.system, w.trajectory.frames, bonds)
     }
 

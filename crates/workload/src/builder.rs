@@ -336,8 +336,7 @@ impl SystemBuilder {
 
         // --- Ions. ---
         for p in 0..self.spec.ion_pairs {
-            for (resname, name, element) in
-                [("SOD", "NA", Element::Na), ("CLA", "CL", Element::Cl)]
+            for (resname, name, element) in [("SOD", "NA", Element::Na), ("CLA", "CL", Element::Cl)]
             {
                 atoms.push(Atom {
                     serial,

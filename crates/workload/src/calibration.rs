@@ -160,32 +160,137 @@ pub struct SizeRow {
 
 /// Table 2: data size comparisons on the SSD server (ext4 vs ADA).
 pub const PAPER_TABLE2: [SizeRow; 8] = [
-    SizeRow { frames: 626, compressed_mb: 100.0, ada_protein_mb: 139.0, raw_mb: 327.0 },
-    SizeRow { frames: 1251, compressed_mb: 200.0, ada_protein_mb: 277.0, raw_mb: 653.0 },
-    SizeRow { frames: 1877, compressed_mb: 300.0, ada_protein_mb: 416.0, raw_mb: 980.0 },
-    SizeRow { frames: 2503, compressed_mb: 400.0, ada_protein_mb: 555.0, raw_mb: 1306.0 },
-    SizeRow { frames: 3129, compressed_mb: 500.0, ada_protein_mb: 693.0, raw_mb: 1632.0 },
-    SizeRow { frames: 3754, compressed_mb: 600.0, ada_protein_mb: 832.0, raw_mb: 1959.0 },
-    SizeRow { frames: 4380, compressed_mb: 700.0, ada_protein_mb: 970.0, raw_mb: 2285.0 },
-    SizeRow { frames: 5006, compressed_mb: 800.0, ada_protein_mb: 1108.0, raw_mb: 2612.0 },
+    SizeRow {
+        frames: 626,
+        compressed_mb: 100.0,
+        ada_protein_mb: 139.0,
+        raw_mb: 327.0,
+    },
+    SizeRow {
+        frames: 1251,
+        compressed_mb: 200.0,
+        ada_protein_mb: 277.0,
+        raw_mb: 653.0,
+    },
+    SizeRow {
+        frames: 1877,
+        compressed_mb: 300.0,
+        ada_protein_mb: 416.0,
+        raw_mb: 980.0,
+    },
+    SizeRow {
+        frames: 2503,
+        compressed_mb: 400.0,
+        ada_protein_mb: 555.0,
+        raw_mb: 1306.0,
+    },
+    SizeRow {
+        frames: 3129,
+        compressed_mb: 500.0,
+        ada_protein_mb: 693.0,
+        raw_mb: 1632.0,
+    },
+    SizeRow {
+        frames: 3754,
+        compressed_mb: 600.0,
+        ada_protein_mb: 832.0,
+        raw_mb: 1959.0,
+    },
+    SizeRow {
+        frames: 4380,
+        compressed_mb: 700.0,
+        ada_protein_mb: 970.0,
+        raw_mb: 2285.0,
+    },
+    SizeRow {
+        frames: 5006,
+        compressed_mb: 800.0,
+        ada_protein_mb: 1108.0,
+        raw_mb: 2612.0,
+    },
 ];
 
 /// Table 6: data size comparisons on the fat-node server (XFS vs ADA);
 /// sizes in MB (converted from the paper's GB ×1000).
 pub const PAPER_TABLE6: [SizeRow; 13] = [
-    SizeRow { frames: 62_560, compressed_mb: 10_000.0, ada_protein_mb: 13_900.0, raw_mb: 32_700.0 },
-    SizeRow { frames: 187_680, compressed_mb: 30_000.0, ada_protein_mb: 41_600.0, raw_mb: 98_000.0 },
-    SizeRow { frames: 312_800, compressed_mb: 50_000.0, ada_protein_mb: 69_300.0, raw_mb: 163_300.0 },
-    SizeRow { frames: 437_920, compressed_mb: 70_000.0, ada_protein_mb: 97_000.0, raw_mb: 228_600.0 },
-    SizeRow { frames: 625_600, compressed_mb: 100_000.0, ada_protein_mb: 138_600.0, raw_mb: 326_600.0 },
-    SizeRow { frames: 938_400, compressed_mb: 150_000.0, ada_protein_mb: 207_900.0, raw_mb: 489_900.0 },
-    SizeRow { frames: 1_251_200, compressed_mb: 200_000.0, ada_protein_mb: 277_200.0, raw_mb: 653_200.0 },
-    SizeRow { frames: 1_564_000, compressed_mb: 250_000.0, ada_protein_mb: 346_500.0, raw_mb: 816_500.0 },
-    SizeRow { frames: 1_876_800, compressed_mb: 300_000.0, ada_protein_mb: 415_800.0, raw_mb: 979_800.0 },
-    SizeRow { frames: 2_502_400, compressed_mb: 400_000.0, ada_protein_mb: 554_400.0, raw_mb: 1_306_400.0 },
-    SizeRow { frames: 3_440_800, compressed_mb: 550_000.0, ada_protein_mb: 762_300.0, raw_mb: 1_796_300.0 },
-    SizeRow { frames: 4_379_200, compressed_mb: 700_000.0, ada_protein_mb: 970_200.0, raw_mb: 2_286_200.0 },
-    SizeRow { frames: 5_004_800, compressed_mb: 800_000.0, ada_protein_mb: 1_108_800.0, raw_mb: 2_612_800.0 },
+    SizeRow {
+        frames: 62_560,
+        compressed_mb: 10_000.0,
+        ada_protein_mb: 13_900.0,
+        raw_mb: 32_700.0,
+    },
+    SizeRow {
+        frames: 187_680,
+        compressed_mb: 30_000.0,
+        ada_protein_mb: 41_600.0,
+        raw_mb: 98_000.0,
+    },
+    SizeRow {
+        frames: 312_800,
+        compressed_mb: 50_000.0,
+        ada_protein_mb: 69_300.0,
+        raw_mb: 163_300.0,
+    },
+    SizeRow {
+        frames: 437_920,
+        compressed_mb: 70_000.0,
+        ada_protein_mb: 97_000.0,
+        raw_mb: 228_600.0,
+    },
+    SizeRow {
+        frames: 625_600,
+        compressed_mb: 100_000.0,
+        ada_protein_mb: 138_600.0,
+        raw_mb: 326_600.0,
+    },
+    SizeRow {
+        frames: 938_400,
+        compressed_mb: 150_000.0,
+        ada_protein_mb: 207_900.0,
+        raw_mb: 489_900.0,
+    },
+    SizeRow {
+        frames: 1_251_200,
+        compressed_mb: 200_000.0,
+        ada_protein_mb: 277_200.0,
+        raw_mb: 653_200.0,
+    },
+    SizeRow {
+        frames: 1_564_000,
+        compressed_mb: 250_000.0,
+        ada_protein_mb: 346_500.0,
+        raw_mb: 816_500.0,
+    },
+    SizeRow {
+        frames: 1_876_800,
+        compressed_mb: 300_000.0,
+        ada_protein_mb: 415_800.0,
+        raw_mb: 979_800.0,
+    },
+    SizeRow {
+        frames: 2_502_400,
+        compressed_mb: 400_000.0,
+        ada_protein_mb: 554_400.0,
+        raw_mb: 1_306_400.0,
+    },
+    SizeRow {
+        frames: 3_440_800,
+        compressed_mb: 550_000.0,
+        ada_protein_mb: 762_300.0,
+        raw_mb: 1_796_300.0,
+    },
+    SizeRow {
+        frames: 4_379_200,
+        compressed_mb: 700_000.0,
+        ada_protein_mb: 970_200.0,
+        raw_mb: 2_286_200.0,
+    },
+    SizeRow {
+        frames: 5_004_800,
+        compressed_mb: 800_000.0,
+        ada_protein_mb: 1_108_800.0,
+        raw_mb: 2_612_800.0,
+    },
 ];
 
 #[cfg(test)]

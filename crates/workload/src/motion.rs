@@ -118,8 +118,8 @@ impl TrajectoryGenerator {
 mod tests {
     use super::*;
     use crate::builder::SystemBuilder;
-    use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
     use ada_mdformats::read_xtc;
+    use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
 
     fn system() -> MolecularSystem {
         SystemBuilder::gpcr_like(2500).build(11)

@@ -7,8 +7,8 @@
 //! ```
 
 use ada_core::{IngestInput, Rebalancer};
-use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
 use ada_mdformats::write_pdb;
+use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
 use ada_mdmodel::Tag;
 use ada_repro::ada_over_hybrid_storage;
 
@@ -50,7 +50,10 @@ fn main() {
     let plan = rb.plan(&ada, "solvation").unwrap();
     println!("migration plan: {:?}", plan.moves);
     let t = rb.rebalance(&ada, "solvation").unwrap();
-    println!("migration took {:.2} s (virtual, background)", t.as_secs_f64());
+    println!(
+        "migration took {:.2} s (virtual, background)",
+        t.as_secs_f64()
+    );
     placement("\nafter rebalance");
 
     let after = ada.query("solvation", Some(&Tag::misc())).unwrap().read;

@@ -7,13 +7,11 @@
 //! ```
 
 use ada_core::{IngestInput, RetrievedData};
-use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
 use ada_mdformats::write_pdb;
+use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
 use ada_mdmodel::{parse_selection, Category, Tag};
 use ada_repro::ada_over_hybrid_storage;
-use ada_vmdsim::{
-    radius_of_gyration, render_frame, rmsd_series, rmsf, DrawStyle, RenderOptions,
-};
+use ada_vmdsim::{radius_of_gyration, render_frame, rmsd_series, rmsf, DrawStyle, RenderOptions};
 
 fn main() {
     let w = ada_workload::gpcr_workload(6000, 15, 314);
@@ -67,7 +65,12 @@ fn main() {
 
     // Report-quality render stats in each style.
     println!("\nrender styles on the last frame:");
-    for style in [DrawStyle::Points, DrawStyle::Lines, DrawStyle::Licorice, DrawStyle::Vdw] {
+    for style in [
+        DrawStyle::Points,
+        DrawStyle::Lines,
+        DrawStyle::Licorice,
+        DrawStyle::Vdw,
+    ] {
         let bonds = ada_mdmodel::infer_bonds(
             &protein,
             &protein.coords,

@@ -14,7 +14,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(6256);
     let platform = Platform::cluster9();
-    println!("platform: {}\ndataset: {} frames (paper-calibrated volumes)\n", platform.name, frames);
+    println!(
+        "platform: {}\ndataset: {} frames (paper-calibrated volumes)\n",
+        platform.name, frames
+    );
 
     let rows: Vec<Vec<String>> = Scenario::ALL
         .iter()

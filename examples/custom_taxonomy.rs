@@ -8,8 +8,8 @@
 //! ```
 
 use ada_core::{Ada, AdaConfig, DispatchPolicy, IngestInput, RetrievedData};
-use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
 use ada_mdformats::write_pdb;
+use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
 use ada_mdmodel::category::Taxonomy;
 use ada_mdmodel::Tag;
 use ada_plfs::ContainerSet;
@@ -26,7 +26,14 @@ default m                             # water and the rest
 
 fn main() {
     let taxonomy = Taxonomy::parse_config(TAXONOMY_CONFIG).expect("config parses");
-    println!("taxonomy tags: {:?}", taxonomy.all_tags().iter().map(Tag::as_str).collect::<Vec<_>>());
+    println!(
+        "taxonomy tags: {:?}",
+        taxonomy
+            .all_tags()
+            .iter()
+            .map(Tag::as_str)
+            .collect::<Vec<_>>()
+    );
 
     let ssd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_nvme());
     let hdd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_hdd());

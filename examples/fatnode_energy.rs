@@ -13,12 +13,7 @@ fn main() {
     let platform = Platform::fatnode();
     println!("platform: {}\n", platform.name);
     let frames = [
-        625_600u64,
-        1_564_000,
-        1_876_800,
-        2_502_400,
-        4_379_200,
-        5_004_800,
+        625_600u64, 1_564_000, 1_876_800, 2_502_400, 4_379_200, 5_004_800,
     ];
     let mut rows = Vec::new();
     for &f in &frames {
@@ -42,7 +37,14 @@ fn main() {
         "{}",
         format_table(
             "Fat node (1,007 GB): turnaround / memory / energy / OOM",
-            &["frames", "scenario", "turnaround", "peak mem", "energy", "outcome"],
+            &[
+                "frames",
+                "scenario",
+                "turnaround",
+                "peak mem",
+                "energy",
+                "outcome"
+            ],
             &rows
         )
     );

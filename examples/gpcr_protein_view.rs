@@ -8,8 +8,8 @@
 //! ```
 
 use ada_core::IngestInput;
-use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
 use ada_mdformats::write_pdb;
+use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
 use ada_mdmodel::Tag;
 use ada_repro::ada_over_hybrid_storage;
 use ada_vmdsim::{AccessPattern, FrameCache, RenderOptions, VmdSession};

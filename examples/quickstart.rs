@@ -6,8 +6,8 @@
 //! ```
 
 use ada_core::{IngestInput, RetrievedData};
-use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
 use ada_mdformats::write_pdb;
+use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
 use ada_mdmodel::Tag;
 use ada_repro::ada_over_hybrid_storage;
 
@@ -36,10 +36,19 @@ fn main() {
     let ada = ada_over_hybrid_storage();
     assert!(ada.traps("bar.xtc"), "ADA traps target-application files");
     let report = ada
-        .ingest("bar", IngestInput::Real { pdb_text, xtc_bytes })
+        .ingest(
+            "bar",
+            IngestInput::Real {
+                pdb_text,
+                xtc_bytes,
+            },
+        )
         .unwrap();
     println!("\ningest (on the storage node):");
-    println!("  decompress: {:>8.3} s (virtual)", report.decompress.as_secs_f64());
+    println!(
+        "  decompress: {:>8.3} s (virtual)",
+        report.decompress.as_secs_f64()
+    );
     println!("  categorize: {:>8.3} s", report.categorize.as_secs_f64());
     println!("  split:      {:>8.3} s", report.split.as_secs_f64());
     println!("  write:      {:>8.3} s", report.write.as_secs_f64());
@@ -58,7 +67,11 @@ fn main() {
         _ => unreachable!(),
     };
     println!("\nquery tag 'p':");
-    println!("  indexer: {:.4} s, read: {:.4} s (virtual)", q.indexer.as_secs_f64(), q.read.as_secs_f64());
+    println!(
+        "  indexer: {:.4} s, read: {:.4} s (virtual)",
+        q.indexer.as_secs_f64(),
+        q.read.as_secs_f64()
+    );
     println!(
         "  delivered {} frames x {} protein atoms = {} kB (vs {} kB raw)",
         traj.len(),

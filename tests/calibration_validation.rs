@@ -17,7 +17,12 @@ fn real_codec_reproduces_table2_ratios_at_paper_scale() {
     // Raw volume per frame: 12 B/atom, so ~0.52 MB/frame.
     let raw_per_frame = w.system.len() as f64 * 12.0;
     let rel_raw = (raw_per_frame - cal.raw_bytes_per_frame).abs() / cal.raw_bytes_per_frame;
-    assert!(rel_raw < 0.08, "raw/frame {} vs paper {}", raw_per_frame, cal.raw_bytes_per_frame);
+    assert!(
+        rel_raw < 0.08,
+        "raw/frame {} vs paper {}",
+        raw_per_frame,
+        cal.raw_bytes_per_frame
+    );
 
     // Protein fraction: Table 1's 43.5–49 % band.
     let frac = w.system.protein_fraction();

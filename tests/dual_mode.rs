@@ -4,8 +4,8 @@
 //! structure.
 
 use ada_core::{Ada, AdaConfig, IngestInput, SyntheticDataset};
-use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
 use ada_mdformats::write_pdb;
+use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
 use ada_mdmodel::Tag;
 use ada_plfs::ContainerSet;
 use ada_simfs::{LocalFs, SimFileSystem};
@@ -68,7 +68,12 @@ fn synthetic_volumes_match_real_ingest() {
     // per-frame header metadata on the real side).
     let rel = (real_report.raw_bytes as f64 - synth_report.raw_bytes as f64).abs()
         / synth_report.raw_bytes as f64;
-    assert!(rel < 0.01, "raw {} vs {}", real_report.raw_bytes, synth_report.raw_bytes);
+    assert!(
+        rel < 0.01,
+        "raw {} vs {}",
+        real_report.raw_bytes,
+        synth_report.raw_bytes
+    );
 }
 
 #[test]
@@ -86,7 +91,10 @@ fn placement_identical_across_modes() {
         .unwrap();
     let synth_ada = fresh_ada();
     synth_ada
-        .ingest("synth", IngestInput::Synthetic(SyntheticDataset::gpcr_paper(2)))
+        .ingest(
+            "synth",
+            IngestInput::Synthetic(SyntheticDataset::gpcr_paper(2)),
+        )
         .unwrap();
 
     // Both modes put protein on the SSD backend and MISC on the HDD.
@@ -94,17 +102,27 @@ fn placement_identical_across_modes() {
         let by_backend = ada.containers().bytes_by_backend(name).unwrap();
         assert!(by_backend.contains_key("ssd"), "{} missing ssd", name);
         assert!(by_backend.contains_key("hdd"), "{} missing hdd", name);
-        assert!(by_backend["hdd"] > by_backend["ssd"], "{} MISC should dominate", name);
+        assert!(
+            by_backend["hdd"] > by_backend["ssd"],
+            "{} MISC should dominate",
+            name
+        );
     }
 }
 
 #[test]
 fn synthetic_query_durations_scale_with_volume() {
     let ada = fresh_ada();
-    ada.ingest("a", IngestInput::Synthetic(SyntheticDataset::gpcr_paper(1000)))
-        .unwrap();
-    ada.ingest("b", IngestInput::Synthetic(SyntheticDataset::gpcr_paper(4000)))
-        .unwrap();
+    ada.ingest(
+        "a",
+        IngestInput::Synthetic(SyntheticDataset::gpcr_paper(1000)),
+    )
+    .unwrap();
+    ada.ingest(
+        "b",
+        IngestInput::Synthetic(SyntheticDataset::gpcr_paper(4000)),
+    )
+    .unwrap();
     let qa = ada.query("a", Some(&Tag::protein())).unwrap();
     let qb = ada.query("b", Some(&Tag::protein())).unwrap();
     let ratio = qb.read.as_secs_f64() / qa.read.as_secs_f64();
@@ -119,10 +137,12 @@ fn synthetic_ingest_decompression_dominates() {
     // consistent with Fig. 8's profile now running on the storage node.
     let ada = fresh_ada();
     let report = ada
-        .ingest("x", IngestInput::Synthetic(SyntheticDataset::gpcr_paper(5006)))
+        .ingest(
+            "x",
+            IngestInput::Synthetic(SyntheticDataset::gpcr_paper(5006)),
+        )
         .unwrap();
     assert!(
-        report.decompress.as_secs_f64()
-            > 5.0 * (report.categorize + report.split).as_secs_f64()
+        report.decompress.as_secs_f64() > 5.0 * (report.categorize + report.split).as_secs_f64()
     );
 }

@@ -34,7 +34,12 @@ fn full_pipeline_real_bytes() {
     // (modulo XTCF per-dropping headers).
     let stored: u64 = report.bytes_by_tag.values().sum();
     let raw = w.trajectory.nbytes() as u64;
-    assert!(stored >= raw && stored < raw + 4096, "stored {} raw {}", stored, raw);
+    assert!(
+        stored >= raw && stored < raw + 4096,
+        "stored {} raw {}",
+        stored,
+        raw
+    );
 
     // Compute side: tagged load, then render.
     let mut vmd = VmdSession::new();

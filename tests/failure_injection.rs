@@ -4,8 +4,8 @@
 //! panic, never return silently wrong data.
 
 use ada_core::{Ada, AdaConfig, AdaError, IngestInput};
-use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
 use ada_mdformats::write_pdb;
+use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
 use ada_mdmodel::Tag;
 use ada_plfs::ContainerSet;
 use ada_simfs::{Content, FsParams, LocalFs, SimFileSystem};
@@ -64,7 +64,11 @@ fn corrupt_dropping_bytes_yield_typed_error() {
         .unwrap();
 
     let err = r.ada.query("bar", Some(&Tag::protein())).unwrap_err();
-    assert!(matches!(err, AdaError::Pdb(_)), "got {:?}", err);
+    assert!(matches!(err, AdaError::Xtcf { .. }), "got {:?}", err);
+    assert_eq!(err.kind(), "xtcf");
+    // The error names the corrupt dropping and chains the format error.
+    assert!(err.to_string().contains("dropping.data.p"), "got {}", err);
+    assert!(std::error::Error::source(&err).is_some());
     // The MISC subset is unaffected.
     assert!(r.ada.query("bar", Some(&Tag::misc())).is_ok());
 }

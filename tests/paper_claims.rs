@@ -31,7 +31,11 @@ fn claim_memory_reduction_about_2_5x() {
     let ext4 = fig7c.value("C-ext4", 5006).unwrap();
     let ada = fig7c.value("D-ADA (protein)", 5006).unwrap();
     let ratio = ext4 / ada;
-    assert!(ratio > 2.0 && ratio < 2.6, "memory ratio {} (paper: >2.5x)", ratio);
+    assert!(
+        ratio > 2.0 && ratio < 2.6,
+        "memory ratio {} (paper: >2.5x)",
+        ratio
+    );
 }
 
 #[test]
@@ -114,7 +118,11 @@ fn claim_cluster_curves_keep_paper_ordering() {
         let all = fig9a.value("D-ADA (all)", frames).unwrap();
         let prot = fig9a.value("D-ADA (protein)", frames).unwrap();
         // Fig. 9a: ADA curves between best (C) and worst (D).
-        assert!(c <= prot && prot <= all && all <= d, "retrieval ordering at {}", frames);
+        assert!(
+            c <= prot && prot <= all && all <= d,
+            "retrieval ordering at {}",
+            frames
+        );
         // Fig. 9b: compressed turnaround worst by a wide margin.
         let ct = fig9b.value("C-PVFS", frames).unwrap();
         let pt = fig9b.value("D-ADA (protein)", frames).unwrap();
@@ -135,7 +143,11 @@ fn fig10_all_scenarios_killed_points_stable() {
         let mut seen_kill = false;
         for p in pts {
             if seen_kill {
-                assert!(p.killed, "{} revived after a kill at {} frames", label, p.frames);
+                assert!(
+                    p.killed,
+                    "{} revived after a kill at {} frames",
+                    label, p.frames
+                );
             }
             seen_kill |= p.killed;
         }

@@ -1,0 +1,282 @@
+//! The parallel query pipeline must be observably identical to the serial
+//! reference retrieval (`query_threads = 0`): bit-equal trajectories for
+//! full-frame and per-tag queries, identical simulated read costs, and the
+//! same typed errors under injected faults — on single- and multi-dropping
+//! datasets, real and synthetic.
+
+use ada_core::{Ada, AdaConfig, AdaError, IngestInput, RetrievedData};
+use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
+use ada_mdformats::xtcf::write_xtcf;
+use ada_mdformats::{write_pdb, Frame, Trajectory};
+use ada_mdmodel::{PbcBox, Tag};
+use ada_plfs::ContainerSet;
+use ada_simfs::{Content, LocalFs, SimFileSystem};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+struct Rig {
+    ada: Ada,
+    ssd: Arc<dyn SimFileSystem>,
+}
+
+/// Hybrid SSD/HDD ADA with explicit query parallelism knobs.
+fn rig(query_threads: usize, frames_per_dropping: usize) -> Rig {
+    let ssd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_nvme());
+    let hdd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_hdd());
+    let containers = Arc::new(ContainerSet::new(vec![
+        ("ssd".into(), ssd.clone()),
+        ("hdd".into(), hdd),
+    ]));
+    let config = AdaConfig {
+        query_threads,
+        frames_per_dropping,
+        ..AdaConfig::paper_prototype("ssd", "hdd")
+    };
+    Rig {
+        ada: Ada::new(config, containers, ssd.clone()),
+        ssd,
+    }
+}
+
+fn ingest_real(ada: &Ada, name: &str, natoms: usize, nframes: usize, seed: u64) {
+    let w = ada_workload::gpcr_workload(natoms, nframes, seed);
+    ada.ingest(
+        name,
+        IngestInput::Real {
+            pdb_text: write_pdb(&w.system),
+            xtc_bytes: write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap(),
+        },
+    )
+    .unwrap();
+}
+
+fn query_real(ada: &Ada, dataset: &str, tag: Option<&Tag>) -> Trajectory {
+    match ada.query(dataset, tag).unwrap().data {
+        RetrievedData::Real(t) => t,
+        _ => unreachable!("real ingest must yield real data"),
+    }
+}
+
+/// Every query observable of `par` equals `ser`'s: bit-equal full-frame
+/// and per-tag trajectories plus identical simulated indexer/read costs.
+fn assert_queries_equivalent(ser: &Ada, par: &Ada, dataset: &str, what: &str) {
+    let tags = ser.tags(dataset).unwrap();
+    assert_eq!(tags, par.tags(dataset).unwrap(), "{}: tag set", what);
+    for tag in tags.iter().map(Some).chain([None]) {
+        let a = ser.query(dataset, tag).unwrap();
+        let b = par.query(dataset, tag).unwrap();
+        assert_eq!(
+            a.indexer, b.indexer,
+            "{}: indexer cost, tag {:?}",
+            what, tag
+        );
+        assert_eq!(a.read, b.read, "{}: read cost, tag {:?}", what, tag);
+        match (a.data, b.data) {
+            (RetrievedData::Real(ta), RetrievedData::Real(tb)) => {
+                // XTCF is lossless: delivered coordinates are bit-equal.
+                assert_eq!(ta, tb, "{}: trajectory, tag {:?}", what, tag);
+            }
+            (
+                RetrievedData::Synthetic {
+                    bytes: ba,
+                    frames: fa,
+                    atoms_per_frame: aa,
+                },
+                RetrievedData::Synthetic {
+                    bytes: bb,
+                    frames: fb,
+                    atoms_per_frame: ab,
+                },
+            ) => {
+                assert_eq!(
+                    (ba, fa, aa),
+                    (bb, fb, ab),
+                    "{}: synthetic, tag {:?}",
+                    what,
+                    tag
+                );
+            }
+            _ => panic!("{}: serial and parallel modes disagree", what),
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_serial_on_multi_dropping_real_dataset() {
+    // 7 frames / 2 per dropping = 4 droppings per tag, spread over both
+    // backends — the pipeline has real fan-out to get wrong.
+    let ser = rig(0, 2);
+    ingest_real(&ser.ada, "d", 1600, 7, 11);
+    for threads in [1, 2, 4, 8] {
+        let par = rig(threads, 2);
+        ingest_real(&par.ada, "d", 1600, 7, 11);
+        assert_queries_equivalent(
+            &ser.ada,
+            &par.ada,
+            "d",
+            &format!("query_threads={}", threads),
+        );
+    }
+}
+
+#[test]
+fn parallel_matches_serial_on_single_dropping_real_dataset() {
+    let ser = rig(0, 512);
+    ingest_real(&ser.ada, "d", 900, 3, 21);
+    let par = rig(4, 512);
+    ingest_real(&par.ada, "d", 900, 3, 21);
+    assert_queries_equivalent(&ser.ada, &par.ada, "d", "single dropping");
+}
+
+#[test]
+fn parallel_matches_serial_on_synthetic_dataset() {
+    let spec = ada_core::SyntheticDataset::gpcr_paper(64);
+    let ser = rig(0, 512);
+    ser.ada
+        .ingest("syn", IngestInput::Synthetic(spec.clone()))
+        .unwrap();
+    let par = rig(4, 512);
+    par.ada.ingest("syn", IngestInput::Synthetic(spec)).unwrap();
+    assert_queries_equivalent(&ser.ada, &par.ada, "syn", "synthetic");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property sweep: any workload shape and thread count delivers the
+    /// serial payload.
+    #[test]
+    fn parallel_query_is_serial_query(
+        natoms in 200usize..1200,
+        nframes in 1usize..9,
+        frames_per_dropping in 1usize..4,
+        threads in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let ser = rig(0, frames_per_dropping);
+        ingest_real(&ser.ada, "d", natoms, nframes, seed);
+        let par = rig(threads, frames_per_dropping);
+        ingest_real(&par.ada, "d", natoms, nframes, seed);
+        for tag in [Some(Tag::protein()), Some(Tag::misc()), None] {
+            let a = query_real(&ser.ada, "d", tag.as_ref());
+            let b = query_real(&par.ada, "d", tag.as_ref());
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+/// Clobber one protein dropping of `r` in place with junk bytes.
+fn corrupt_protein_dropping(r: &Rig) -> String {
+    let paths = r.ssd.list("ssd/d/hostdir.0/");
+    let dropping = paths
+        .iter()
+        .find(|p| p.contains("dropping.data.p"))
+        .expect("protein dropping exists")
+        .clone();
+    let len = r.ssd.stat(&dropping).unwrap().len;
+    r.ssd.delete(&dropping).unwrap();
+    r.ssd
+        .create(&dropping, Content::real(vec![0x5Au8; len as usize]))
+        .unwrap();
+    dropping
+}
+
+#[test]
+fn corrupt_dropping_yields_xtcf_error_on_both_paths() {
+    for threads in [0, 4] {
+        let r = rig(threads, 2);
+        ingest_real(&r.ada, "d", 900, 5, 31);
+        let dropping = corrupt_protein_dropping(&r);
+        for tag in [Some(Tag::protein()), None] {
+            let err = r.ada.query("d", tag.as_ref()).unwrap_err();
+            assert!(
+                matches!(err, AdaError::Xtcf { .. }),
+                "threads={} tag={:?}: got {:?}",
+                threads,
+                tag,
+                err
+            );
+            assert_eq!(err.kind(), "xtcf");
+            assert!(err.to_string().contains(&dropping), "got {}", err);
+            assert!(std::error::Error::source(&err).is_some());
+        }
+        // The MISC subset never touches the corrupt dropping.
+        assert!(r.ada.query("d", Some(&Tag::misc())).is_ok());
+    }
+}
+
+#[test]
+fn failed_queries_do_not_bump_access_counters() {
+    for threads in [0, 4] {
+        let r = rig(threads, 2);
+        ingest_real(&r.ada, "d", 900, 4, 41);
+
+        // Unknown tag: rejected before any retrieval.
+        r.ada.query("d", Some(&Tag::new("zz"))).unwrap_err();
+        assert!(
+            r.ada.access_counts("d").is_empty(),
+            "threads={}: unknown-tag query counted",
+            threads
+        );
+
+        // Corrupt dropping: retrieval starts but fails — still no count.
+        corrupt_protein_dropping(&r);
+        r.ada.query("d", None).unwrap_err();
+        r.ada.query("d", Some(&Tag::protein())).unwrap_err();
+        assert!(
+            r.ada.access_counts("d").is_empty(),
+            "threads={}: failed query counted",
+            threads
+        );
+
+        // A successful query is the first (and only) thing counted.
+        r.ada.query("d", Some(&Tag::misc())).unwrap();
+        let counts = r.ada.access_counts("d");
+        assert_eq!(counts.get(&Tag::misc()), Some(&1));
+        assert_eq!(counts.get(&Tag::protein()), None);
+    }
+}
+
+#[test]
+fn frame_count_mismatch_is_a_structured_error() {
+    for threads in [0, 4] {
+        let r = rig(threads, 512);
+        ingest_real(&r.ada, "d", 900, 3, 51);
+
+        // Splice in a foreign protein dropping: one extra well-formed
+        // frame, so tag `p` now decodes 4 frames while the label (and tag
+        // `m`) say 3. Before the mismatch check, full-frame reassembly
+        // silently truncated to the shortest subset.
+        let label = r.ada.label("d").unwrap();
+        let p_atoms = label.ranges(&Tag::protein()).unwrap().count();
+        let extra = Trajectory::from_frames(vec![Frame {
+            step: 99,
+            time: 9.9,
+            pbc: PbcBox::zero(),
+            coords: vec![[1.0, 2.0, 3.0]; p_atoms],
+        }]);
+        r.ada
+            .containers()
+            .append_tagged("d", "p", "ssd", Content::real(write_xtcf(&extra).unwrap()))
+            .unwrap();
+
+        let err = r.ada.query("d", None).unwrap_err();
+        match &err {
+            AdaError::FrameCountMismatch { tag, expected, got } => {
+                assert_eq!(tag, "p", "threads={}", threads);
+                assert_eq!(*expected, 3, "threads={}", threads);
+                assert_eq!(*got, 4, "threads={}", threads);
+            }
+            other => panic!(
+                "threads={}: expected FrameCountMismatch, got {:?}",
+                threads, other
+            ),
+        }
+        assert_eq!(err.kind(), "frame_count_mismatch");
+        // The failed reassembly never counted as an access.
+        assert!(r.ada.access_counts("d").is_empty());
+        // Per-tag queries still deliver the subsets verbatim.
+        assert_eq!(query_real(&r.ada, "d", Some(&Tag::protein())).len(), 4);
+        assert_eq!(query_real(&r.ada, "d", Some(&Tag::misc())).len(), 3);
+    }
+}

@@ -169,5 +169,10 @@ fn real_bytes_speedup_grows_with_frames() {
     };
     // More frames → more decompression avoided → bigger win (the Fig. 7b
     // "as the number of frames increases" trend).
-    assert!(gap(&large) > gap(&small), "{} vs {}", gap(&large), gap(&small));
+    assert!(
+        gap(&large) > gap(&small),
+        "{} vs {}",
+        gap(&large),
+        gap(&small)
+    );
 }

@@ -3,8 +3,8 @@
 //! seen on the wire must equal the label's subset sizes.
 
 use ada_core::{Ada, AdaConfig, IngestInput};
-use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
 use ada_mdformats::write_pdb;
+use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
 use ada_mdmodel::Tag;
 use ada_plfs::ContainerSet;
 use ada_simfs::{LocalFs, OpKind, SimFileSystem, TraceLog};

@@ -49,7 +49,13 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => self.len(),
         };
-        assert!(lo <= hi && hi <= self.len(), "slice {}..{} out of bounds (len {})", lo, hi, self.len());
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice {}..{} out of bounds (len {})",
+            lo,
+            hi,
+            self.len()
+        );
         Bytes {
             data: self.data.clone(),
             start: self.start + lo,
@@ -90,7 +96,11 @@ impl std::borrow::Borrow<[u8]> for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
         let end = v.len();
-        Bytes { data: Arc::new(v), start: 0, end }
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
     }
 }
 

@@ -32,12 +32,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `name/parameter`.
     pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> BenchmarkId {
-        BenchmarkId { id: format!("{}/{}", name, parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", name, parameter),
+        }
     }
 
     /// Parameter-only id.
     pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> BenchmarkId {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -166,11 +170,17 @@ impl<'a> BenchmarkGroup<'a> {
             }
         }
         println!("{}", line);
-        self.parent.results.push((format!("{}/{}", self.name, id), b.mean_secs));
+        self.parent
+            .results
+            .push((format!("{}/{}", self.name, id), b.mean_secs));
     }
 
     /// Benchmark a closure under `name`.
-    pub fn bench_function<N: std::fmt::Display, F: FnMut(&mut Bencher)>(&mut self, name: N, f: F) -> &mut Self {
+    pub fn bench_function<N: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Self {
         self.run(name.to_string(), f);
         self
     }

@@ -77,11 +77,19 @@ pub trait Strategy {
     }
 
     /// Keep only values satisfying `pred` (rejection sampling).
-    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
     where
         Self: Sized,
     {
-        Filter { inner: self, reason, pred }
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
     }
 
     /// Generate vectors of values from this strategy (method alias used by
@@ -123,7 +131,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter '{}' rejected 10000 consecutive values", self.reason);
+        panic!(
+            "prop_filter '{}' rejected 10000 consecutive values",
+            self.reason
+        );
     }
 }
 
@@ -229,7 +240,9 @@ impl Strategy for AnyPrimitive<bool> {
 impl Arbitrary for bool {
     type Strategy = AnyPrimitive<bool>;
     fn arbitrary() -> Self::Strategy {
-        AnyPrimitive { _marker: std::marker::PhantomData }
+        AnyPrimitive {
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -243,7 +256,9 @@ impl Strategy for AnyPrimitive<f32> {
 impl Arbitrary for f32 {
     type Strategy = AnyPrimitive<f32>;
     fn arbitrary() -> Self::Strategy {
-        AnyPrimitive { _marker: std::marker::PhantomData }
+        AnyPrimitive {
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -254,8 +269,8 @@ pub fn any<T: Arbitrary>() -> T::Strategy {
 
 /// Namespaced strategy constructors, mirroring `proptest::prop`.
 pub mod prop {
-    pub use super::collection;
     pub use super::array;
+    pub use super::collection;
     pub use super::sample;
 }
 
@@ -396,7 +411,11 @@ macro_rules! prop_assert_ne {
         if *l == *r {
             return ::std::result::Result::Err($crate::TestCaseError(format!(
                 "assertion failed: `{} != {}`\n  both: {:?} at {}:{}",
-                stringify!($left), stringify!($right), l, file!(), line!()
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
             )));
         }
     }};
