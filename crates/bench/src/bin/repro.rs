@@ -26,6 +26,13 @@ fn main() {
             std::process::exit(2);
         }
     }
+    // `--json` (for `repro lint`): also write LINT.json next to the
+    // terminal report.
+    let mut lint_json = false;
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        args.remove(i);
+        lint_json = true;
+    }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "table1",
@@ -79,6 +86,7 @@ fn main() {
             "profile-ingest" => profile_ingest(),
             "bench-query" => bench_query(),
             "profile-query" => profile_query(),
+            "lint" => run_lint(lint_json),
             other => eprintln!("unknown item '{}'", other),
         }
     }
@@ -88,6 +96,38 @@ fn main() {
         let snap = ada_telemetry::global().snapshot();
         std::fs::write(&path, snap.to_json().to_vec()).expect("write metrics snapshot");
         eprintln!("wrote metrics snapshot to {}", path);
+    }
+}
+
+/// `repro lint` — run the in-tree static analysis (see DESIGN.md §9) over
+/// the workspace and print per-rule counts; with `--json`, also write
+/// `LINT.json`. Exits non-zero on any unsuppressed finding so scripted
+/// callers can gate on it like `--deny`.
+fn run_lint(write_json: bool) {
+    let cwd = std::env::current_dir().expect("current directory");
+    let root = ada_lint::find_workspace_root(&cwd).expect("workspace root");
+    let report = ada_lint::run_workspace(&root).expect("lint scan");
+
+    for d in report.unsuppressed() {
+        println!("{}:{}:{} [{}] {}", d.path, d.line, d.col, d.rule, d.message);
+    }
+    let open = report.unsuppressed().count();
+    println!(
+        "ada-lint: {} finding{} ({} suppressed) across {} files",
+        open,
+        if open == 1 { "" } else { "s" },
+        report.suppressed().count(),
+        report.files_scanned
+    );
+    for (rule, u, s) in report.rule_counts() {
+        println!("  {:<28} {:>4} open {:>4} suppressed", rule, u, s);
+    }
+    if write_json {
+        std::fs::write("LINT.json", report.to_json().to_vec()).expect("write LINT.json");
+        println!("  wrote LINT.json\n");
+    }
+    if open > 0 {
+        std::process::exit(1);
     }
 }
 

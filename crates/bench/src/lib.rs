@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! # ada-bench — benchmark harness and figure regeneration
 //!
 //! Two surfaces:

@@ -73,6 +73,15 @@ pub struct Determinator {
     policy: DispatchPolicy,
 }
 
+impl std::fmt::Debug for Determinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Determinator")
+            .field("containers", &self.containers)
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
 impl Determinator {
     /// New determinator.
     pub fn new(containers: Arc<ContainerSet>, policy: DispatchPolicy) -> Determinator {

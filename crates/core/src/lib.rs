@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! # ada-core — the Application-Conscious Data Acquirer
 //!
 //! The paper's contribution (§3): a light-weight file-system middleware
@@ -105,6 +108,25 @@ pub enum AdaError {
     },
     /// Input was rejected (not produced by a target application).
     NotTargetApplication(String),
+    /// An internal invariant broke (e.g. a pipeline worker panicked or a
+    /// join failed). Queries and ingests surface this as a structured
+    /// error instead of poisoning channels and hanging the pipeline.
+    Internal(String),
+}
+
+/// Convert a worker-thread panic payload into a structured [`AdaError`]
+/// so a bug in a pipeline stage fails the operation instead of aborting
+/// (and deadlocking) the whole pipeline.
+pub(crate) fn worker_panic(
+    what: &str,
+    payload: Box<dyn std::any::Any + Send + 'static>,
+) -> AdaError {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string());
+    AdaError::Internal(format!("{} panicked: {}", what, msg))
 }
 
 impl From<FsError> for AdaError {
@@ -148,6 +170,7 @@ impl std::fmt::Display for AdaError {
             AdaError::NotTargetApplication(p) => {
                 write!(f, "'{}' was not generated by a target application", p)
             }
+            AdaError::Internal(m) => write!(f, "internal error: {}", m),
         }
     }
 }
@@ -168,6 +191,7 @@ impl AdaError {
             AdaError::UnknownDataset(_) => "unknown_dataset",
             AdaError::AtomMismatch { .. } => "atom_mismatch",
             AdaError::NotTargetApplication(_) => "not_target_application",
+            AdaError::Internal(_) => "internal",
         }
     }
 }
@@ -184,7 +208,8 @@ impl std::error::Error for AdaError {
             | AdaError::UnknownTag(_)
             | AdaError::UnknownDataset(_)
             | AdaError::AtomMismatch { .. }
-            | AdaError::NotTargetApplication(_) => None,
+            | AdaError::NotTargetApplication(_)
+            | AdaError::Internal(_) => None,
         }
     }
 }
@@ -213,6 +238,7 @@ mod error_tests {
             AdaError::UnknownDataset("d".into()),
             AdaError::AtomMismatch { pdb: 3, xtc: 4 },
             AdaError::NotTargetApplication("out.csv".into()),
+            AdaError::Internal("worker panicked: boom".into()),
         ]
     }
 
@@ -241,9 +267,23 @@ mod error_tests {
                 "unknown_tag",
                 "unknown_dataset",
                 "atom_mismatch",
-                "not_target_application"
+                "not_target_application",
+                "internal"
             ]
         );
+    }
+
+    #[test]
+    fn worker_panic_extracts_str_and_string_payloads() {
+        let e = worker_panic("splitter", Box::new("index out of bounds"));
+        assert_eq!(e.kind(), "internal");
+        assert!(e
+            .to_string()
+            .contains("splitter panicked: index out of bounds"));
+        let e = worker_panic("decoder", Box::new(String::from("boom")));
+        assert!(e.to_string().contains("decoder panicked: boom"));
+        let e = worker_panic("reader", Box::new(42u32));
+        assert!(e.to_string().contains("opaque panic payload"));
     }
 
     #[test]

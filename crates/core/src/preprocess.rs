@@ -136,13 +136,16 @@ pub fn split_trajectory_opts(
                 })
                 .collect();
             for h in handles {
-                for (idx, res) in h.join().expect("split worker panicked") {
+                let done = h
+                    .join()
+                    .map_err(|p| crate::worker_panic("split worker", p))?;
+                for (idx, res) in done {
                     cells[idx] = Some(res?);
                 }
             }
             Ok(())
         })
-        .expect("split scope panicked");
+        .map_err(|p| crate::worker_panic("split scope", p))?;
         outcome?;
     }
 
@@ -153,7 +156,9 @@ pub fn split_trajectory_opts(
         out.extend_from_slice(&xtcf::XTCF_MAGIC.to_le_bytes());
         out.extend_from_slice(&xtcf::XTCF_VERSION.to_le_bytes());
         for ci in 0..nchunks {
-            let body = cells[ti * nchunks + ci].take().expect("cell encoded");
+            let body = cells[ti * nchunks + ci]
+                .take()
+                .ok_or_else(|| AdaError::Internal("split cell missing after scope join".into()))?;
             out.extend_from_slice(&body[xtcf::XTCF_HEADER_LEN..]);
         }
         subsets.insert((*tag).clone(), out);

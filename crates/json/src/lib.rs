@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! Minimal JSON support for ADA's persistence formats (label files and
 //! PLFS container indexes).
 //!
@@ -208,7 +211,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, want: char) -> Result<(), JsonError> {
+    fn expect_char(&mut self, want: char) -> Result<(), JsonError> {
         match self.chars.next() {
             Some((_, c)) if c == want => Ok(()),
             Some((i, c)) => err(format!("expected '{}' at byte {}, got '{}'", want, i, c)),
@@ -263,7 +266,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect('"')?;
+        self.expect_char('"')?;
         let mut out = String::new();
         loop {
             match self.chars.next() {
@@ -300,7 +303,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, JsonError> {
-        self.expect('[')?;
+        self.expect_char('[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if matches!(self.chars.peek(), Some((_, ']'))) {
@@ -319,7 +322,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, JsonError> {
-        self.expect('{')?;
+        self.expect_char('{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if matches!(self.chars.peek(), Some((_, '}'))) {
@@ -330,7 +333,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(':')?;
+            self.expect_char(':')?;
             let value = self.value()?;
             pairs.push((key, value));
             self.skip_ws();

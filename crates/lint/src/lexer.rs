@@ -1,0 +1,332 @@
+//! A small Rust lexer — just enough fidelity for lint rules.
+//!
+//! The rules in this crate match on *token* streams, never on raw text, so
+//! an `unwrap` inside a string literal, a doc comment, or a `//` comment can
+//! never produce a finding. The lexer therefore has to get the tricky
+//! boundaries right:
+//!
+//! * line comments vs. doc comments (both become comment tokens),
+//! * nested block comments (`/* /* */ */`),
+//! * string literals with escapes, byte strings, and raw strings with an
+//!   arbitrary number of `#` guards (`r##"…"##`),
+//! * char literals vs. lifetimes (`'a'` vs. `'a`),
+//! * raw identifiers (`r#type`).
+//!
+//! It does **not** attempt full semantic analysis (no macro expansion, no
+//! type resolution); spans are 1-based line/column positions counted in
+//! characters, matching what editors display.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (quote included in text).
+    Lifetime,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A string literal of any flavour (`"…"`, `b"…"`, `r#"…"#`).
+    Str,
+    /// A numeric literal (integer or float, suffix included).
+    Num,
+    /// A single punctuation character (`.`, `!`, `{`, …).
+    Punct,
+    /// A `//` comment, including doc comments (`///`, `//!`).
+    LineComment,
+    /// A `/* … */` comment (possibly nested), including `/** … */`.
+    BlockComment,
+}
+
+/// One lexed token with its source span.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification used by the rules.
+    pub kind: TokenKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in chars) of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True for both comment kinds — rules skip these when matching code.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, k: usize) -> Option<char> {
+        self.chars.get(self.i + k).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(c) = c {
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        c
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into a token stream. Never fails: unterminated literals and
+/// comments extend to end-of-file, which is good enough for linting (the
+/// compiler rejects such files anyway).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks: Vec<Token> = Vec::new();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col, start) = (cur.line, cur.col, cur.i);
+        let kind = if c.is_whitespace() {
+            cur.bump();
+            continue;
+        } else if c == '/' && cur.peek(1) == Some('/') {
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            TokenKind::LineComment
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1u32;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            TokenKind::BlockComment
+        } else if is_ident_start(c) {
+            lex_ident_or_literal(&mut cur)
+        } else if c == '"' {
+            consume_string(&mut cur);
+            TokenKind::Str
+        } else if c == '\'' {
+            lex_char_or_lifetime(&mut cur)
+        } else if c.is_ascii_digit() {
+            consume_number(&mut cur);
+            TokenKind::Num
+        } else {
+            cur.bump();
+            TokenKind::Punct
+        };
+        let text: String = cur.chars[start..cur.i].iter().collect();
+        toks.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+    toks
+}
+
+/// At an identifier-start char: disambiguate raw strings (`r"`, `r#"`),
+/// byte strings (`b"`, `br#"`), byte chars (`b'x'`) and raw identifiers
+/// (`r#type`) from plain identifiers.
+fn lex_ident_or_literal(cur: &mut Cursor) -> TokenKind {
+    let c = cur.peek(0).unwrap_or(' ');
+    match (c, cur.peek(1), cur.peek(2)) {
+        ('r', Some('"'), _) => {
+            cur.bump();
+            consume_raw_string(cur);
+            TokenKind::Str
+        }
+        ('r', Some('#'), Some(n)) if n == '"' || n == '#' => {
+            cur.bump();
+            consume_raw_string(cur);
+            TokenKind::Str
+        }
+        ('b', Some('"'), _) => {
+            cur.bump();
+            consume_string(cur);
+            TokenKind::Str
+        }
+        ('b', Some('r'), Some(n)) if n == '"' || n == '#' => {
+            cur.bump();
+            cur.bump();
+            consume_raw_string(cur);
+            TokenKind::Str
+        }
+        ('b', Some('\''), _) => {
+            cur.bump();
+            consume_char(cur);
+            TokenKind::Char
+        }
+        ('r', Some('#'), Some(n)) if is_ident_start(n) => {
+            cur.bump();
+            cur.bump();
+            consume_ident(cur);
+            TokenKind::Ident
+        }
+        _ => {
+            consume_ident(cur);
+            TokenKind::Ident
+        }
+    }
+}
+
+fn consume_ident(cur: &mut Cursor) {
+    while let Some(ch) = cur.peek(0) {
+        if !is_ident_continue(ch) {
+            break;
+        }
+        cur.bump();
+    }
+}
+
+/// Cursor is on the opening `"`. Consumes through the closing quote,
+/// honouring backslash escapes.
+fn consume_string(cur: &mut Cursor) {
+    cur.bump();
+    while let Some(ch) = cur.peek(0) {
+        match ch {
+            '\\' => {
+                cur.bump();
+                cur.bump();
+            }
+            '"' => {
+                cur.bump();
+                break;
+            }
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+}
+
+/// Cursor is on the first `#` or the `"` of a raw string (after `r`/`br`).
+/// Counts the `#` guards and consumes until `"` followed by that many `#`s.
+fn consume_raw_string(cur: &mut Cursor) {
+    let mut guards = 0usize;
+    while cur.peek(0) == Some('#') {
+        cur.bump();
+        guards += 1;
+    }
+    if cur.peek(0) != Some('"') {
+        return; // not actually a raw string; give up gracefully
+    }
+    cur.bump();
+    'scan: while let Some(ch) = cur.bump() {
+        if ch == '"' {
+            for k in 0..guards {
+                if cur.peek(k) != Some('#') {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..guards {
+                cur.bump();
+            }
+            break;
+        }
+    }
+}
+
+/// Cursor is on a `'`: either a lifetime (`'a`, `'static`, `'_`) or a char
+/// literal (`'x'`, `'\n'`, `'{'`). The grammar rule: `'` + identifier not
+/// followed by a closing `'` is a lifetime; everything else is a char.
+fn lex_char_or_lifetime(cur: &mut Cursor) -> TokenKind {
+    match (cur.peek(1), cur.peek(2)) {
+        (Some(n), after) if is_ident_start(n) && after != Some('\'') => {
+            cur.bump();
+            consume_ident(cur);
+            TokenKind::Lifetime
+        }
+        _ => {
+            consume_char(cur);
+            TokenKind::Char
+        }
+    }
+}
+
+/// Cursor is on the opening `'` of a char literal. Consumes through the
+/// closing `'`, honouring escapes (`'\''`, `'\u{1F600}'`).
+fn consume_char(cur: &mut Cursor) {
+    cur.bump();
+    if cur.peek(0) == Some('\\') {
+        cur.bump();
+        cur.bump();
+    } else {
+        cur.bump();
+    }
+    // Multi-char escapes (\u{…}) leave residue before the closing quote.
+    while let Some(ch) = cur.peek(0) {
+        if ch == '\'' {
+            cur.bump();
+            break;
+        }
+        if ch == '\n' {
+            break; // malformed; don't swallow the rest of the file
+        }
+        cur.bump();
+    }
+}
+
+/// Cursor is on an ASCII digit. Consumes integer/float/hex literals with
+/// suffixes; stops before `..` so ranges keep their punctuation.
+fn consume_number(cur: &mut Cursor) {
+    while let Some(ch) = cur.peek(0) {
+        if !is_ident_continue(ch) {
+            break;
+        }
+        cur.bump();
+    }
+    if cur.peek(0) == Some('.') {
+        if let Some(d) = cur.peek(1) {
+            if d.is_ascii_digit() {
+                cur.bump();
+                while let Some(ch) = cur.peek(0) {
+                    if !is_ident_continue(ch) {
+                        break;
+                    }
+                    cur.bump();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,284 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+//! # ada-lint — workspace-aware static analysis for the ADA reproduction
+//!
+//! The ingest and query paths are multi-threaded pipelines whose
+//! correctness rests on conventions `clippy` cannot see: bounded channels
+//! only, no panics on library hot paths (a panic inside a worker poisons a
+//! channel instead of surfacing an [`AdaError`]-style structured error),
+//! every error variant mapped to a distinct telemetry kind, `parking_lot`
+//! locks on hot crates. This crate locks those invariants in:
+//!
+//! * [`lexer`] — a small Rust lexer (comments, strings, raw strings,
+//!   lifetimes handled correctly) so rules match tokens, not text;
+//! * [`rules`] — per-file rules with stable IDs, span-accurate diagnostics
+//!   and `// ada-lint: allow(rule-id) reason` suppression;
+//! * [`semantic`] — a cross-file pass over `crates/core` checking the
+//!   `AdaError::kind()` map stays exhaustive and distinct.
+//!
+//! Run it as `cargo run -p ada-lint -- --workspace [--deny] [--json PATH]`
+//! or `repro lint [--json]`; the verify gate runs it with `--deny` after
+//! clippy and rustfmt.
+//!
+//! [`AdaError`]: https://docs.rs/ada-core
+
+pub mod lexer;
+pub mod rules;
+pub mod semantic;
+
+use rules::{Diagnostic, FileClass, RULES};
+use std::path::{Path, PathBuf};
+
+/// Anything that stops the lint from running (I/O, missing workspace).
+#[derive(Debug)]
+pub enum LintError {
+    /// Reading a source file or directory failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// No workspace root (a `Cargo.toml` with `[workspace]`) was found.
+    NoWorkspace(PathBuf),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io { path, source } => {
+                write!(f, "io error at {}: {}", path.display(), source)
+            }
+            LintError::NoWorkspace(start) => write!(
+                f,
+                "no Cargo.toml with [workspace] at or above {}",
+                start.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LintError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LintError::Io { source, .. } => Some(source),
+            LintError::NoWorkspace(_) => None,
+        }
+    }
+}
+
+/// The outcome of a full workspace scan.
+#[derive(Debug)]
+pub struct LintReport {
+    /// All diagnostics, suppressed ones included, ordered by path/line/col.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files lexed and scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Diagnostics an `--deny` run fails on.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.suppressed.is_none())
+    }
+
+    /// Diagnostics claimed by an `allow` comment.
+    pub fn suppressed(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.suppressed.is_some())
+    }
+
+    /// Per-rule `(unsuppressed, suppressed)` counts over every known rule,
+    /// zeros included, in [`RULES`] order — the lint baseline.
+    pub fn rule_counts(&self) -> Vec<(&'static str, usize, usize)> {
+        RULES
+            .iter()
+            .map(|r| {
+                let open = self
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.rule == *r && d.suppressed.is_none())
+                    .count();
+                let quiet = self
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.rule == *r && d.suppressed.is_some())
+                    .count();
+                (*r, open, quiet)
+            })
+            .collect()
+    }
+
+    /// Serialize the report (summary + every finding) as an `ada-json`
+    /// value — `repro lint --json` writes this to `LINT.json`.
+    pub fn to_json(&self) -> ada_json::Value {
+        use ada_json::Value;
+        let rules = Value::Obj(
+            self.rule_counts()
+                .into_iter()
+                .map(|(rule, open, quiet)| {
+                    (
+                        rule.to_string(),
+                        Value::obj(vec![
+                            ("unsuppressed", Value::num_u(open as u64)),
+                            ("suppressed", Value::num_u(quiet as u64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let finding = |d: &Diagnostic| {
+            let mut fields = vec![
+                ("rule", Value::str(d.rule)),
+                ("path", Value::str(d.path.clone())),
+                ("line", Value::num_u(d.line as u64)),
+                ("col", Value::num_u(d.col as u64)),
+                ("message", Value::str(d.message.clone())),
+            ];
+            if let Some(reason) = &d.suppressed {
+                fields.push(("allow_reason", Value::str(reason.clone())));
+            }
+            Value::obj(fields)
+        };
+        Value::obj(vec![
+            ("schema", Value::str("ada-lint/1")),
+            ("files_scanned", Value::num_u(self.files_scanned as u64)),
+            (
+                "unsuppressed_total",
+                Value::num_u(self.unsuppressed().count() as u64),
+            ),
+            (
+                "suppressed_total",
+                Value::num_u(self.suppressed().count() as u64),
+            ),
+            ("rules", rules),
+            (
+                "findings",
+                Value::Arr(self.unsuppressed().map(finding).collect()),
+            ),
+            (
+                "suppressions",
+                Value::Arr(self.suppressed().map(finding).collect()),
+            ),
+        ])
+    }
+}
+
+/// Walk upward from `start` to the `Cargo.toml` declaring `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, LintError> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let body = std::fs::read_to_string(&manifest).map_err(|source| LintError::Io {
+                path: manifest.clone(),
+                source,
+            })?;
+            if body.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(LintError::NoWorkspace(start.to_path_buf()));
+        }
+    }
+}
+
+/// Lint every `crates/*/src/**/*.rs` file under `root` and run the
+/// cross-file semantic pass over `crates/core`. Deterministic: files are
+/// visited in sorted order and diagnostics are ordered by path/line/col.
+pub fn run_workspace(root: &Path) -> Result<LintReport, LintError> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = read_dir_sorted(&crates_dir)?
+        .into_iter()
+        .filter(|p| p.is_dir() && p.join("src").is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut files_scanned = 0usize;
+    let mut core_files: Vec<(String, Vec<lexer::Token>)> = Vec::new();
+
+    for crate_dir in &crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src = crate_dir.join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for file in files {
+            let rel = rel_path(root, &file);
+            let body = std::fs::read_to_string(&file).map_err(|source| LintError::Io {
+                path: file.clone(),
+                source,
+            })?;
+            let tokens = lexer::lex(&body);
+            let class = FileClass {
+                crate_name: crate_name.clone(),
+                path: rel.clone(),
+                is_bin_target: rel.ends_with("src/main.rs") || rel.contains("/src/bin/"),
+            };
+            diagnostics.extend(rules::lint_file(&class, &tokens));
+            if rel.ends_with("/src/lib.rs") {
+                if let Some(d) = rules::check_crate_root(&class, &tokens) {
+                    diagnostics.push(d);
+                }
+            }
+            if crate_name == "core" {
+                core_files.push((rel, tokens));
+            }
+            files_scanned += 1;
+        }
+    }
+
+    // The error-kind pass is anchored to the core crate; workspaces
+    // without one (e.g. rule-test fixtures) have nothing to check.
+    if !core_files.is_empty() {
+        diagnostics.extend(semantic::check_error_kinds(&core_files));
+    }
+    diagnostics.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(LintReport {
+        diagnostics,
+        files_scanned,
+    })
+}
+
+fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let rd = std::fs::read_dir(dir).map_err(|source| LintError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    let mut out = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|source| LintError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        out.push(entry.path());
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    for path in read_dir_sorted(dir)? {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

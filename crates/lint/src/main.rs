@@ -1,0 +1,95 @@
+//! `ada-lint` CLI.
+//!
+//! ```text
+//! cargo run -p ada-lint -- --workspace            # report findings
+//! cargo run -p ada-lint -- --workspace --deny     # exit 1 on any unsuppressed finding
+//! cargo run -p ada-lint -- --workspace --json LINT.json
+//! ```
+//!
+//! `--root <dir>` overrides workspace discovery (default: walk up from the
+//! current directory to the first `Cargo.toml` with `[workspace]`).
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut deny = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut root_override: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {} // the only scan mode; accepted for clarity
+            "--deny" => deny = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => die("--json needs a path argument"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root_override = Some(PathBuf::from(p)),
+                None => die("--root needs a directory argument"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: ada-lint [--workspace] [--deny] [--json PATH] [--root DIR]\n\
+                     Lints crates/*/src/**/*.rs with ADA's project rules; see DESIGN.md §9."
+                );
+                return;
+            }
+            other => die(&format!("unknown argument '{}'", other)),
+        }
+    }
+
+    let root = match root_override {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => die(&format!("cannot determine current directory: {}", e)),
+            };
+            match ada_lint::find_workspace_root(&cwd) {
+                Ok(r) => r,
+                Err(e) => die(&e.to_string()),
+            }
+        }
+    };
+
+    let report = match ada_lint::run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => die(&format!("lint failed: {}", e)),
+    };
+
+    for d in report.unsuppressed() {
+        println!("{}:{}:{} [{}] {}", d.path, d.line, d.col, d.rule, d.message);
+    }
+
+    let open = report.unsuppressed().count();
+    let quiet = report.suppressed().count();
+    println!(
+        "ada-lint: {} finding{} ({} suppressed) across {} files",
+        open,
+        if open == 1 { "" } else { "s" },
+        quiet,
+        report.files_scanned
+    );
+    for (rule, u, s) in report.rule_counts() {
+        if u + s > 0 {
+            println!("  {:<28} {:>4} open {:>4} suppressed", rule, u, s);
+        }
+    }
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.to_json().to_vec()) {
+            die(&format!("cannot write {}: {}", path.display(), e));
+        }
+        println!("wrote {}", path.display());
+    }
+
+    if deny && open > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("ada-lint: {}", msg);
+    std::process::exit(2);
+}

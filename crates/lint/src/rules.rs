@@ -1,0 +1,589 @@
+//! The rule engine: per-file rules over the token stream.
+//!
+//! Every rule has a stable ID (see [`RULES`]), produces span-accurate
+//! diagnostics, and can be suppressed site-by-site with
+//! `// ada-lint: allow(rule-id) reason` — the reason is mandatory, and the
+//! comment must sit on the finding's line or the line directly above it.
+//! Unused or malformed suppressions are themselves findings, so annotations
+//! cannot rot silently.
+
+use crate::lexer::{Token, TokenKind};
+
+/// `no-panic-in-lib`: no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+/// `unimplemented!` in non-test, non-bench library code. A panic inside a
+/// pipeline worker thread poisons channels instead of surfacing a
+/// structured `AdaError`.
+pub const NO_PANIC: &str = "no-panic-in-lib";
+/// `bounded-channels-only`: pipeline crates must not construct unbounded
+/// channels (`mpsc::channel()`, `unbounded()`); backpressure is load-bearing.
+pub const BOUNDED_CHANNELS: &str = "bounded-channels-only";
+/// `no-std-sync-in-hot-crates`: core/plfs/simfs must use `parking_lot`
+/// locks, not `std::sync::{Mutex, RwLock, Condvar}` (no poisoning, faster
+/// uncontended path).
+pub const NO_STD_SYNC: &str = "no-std-sync-in-hot-crates";
+/// `no-print-in-lib`: `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` only
+/// in `crates/bench` (the CLI) — libraries report through return values and
+/// telemetry.
+pub const NO_PRINT: &str = "no-print-in-lib";
+/// `error-kind-exhaustive`: every `AdaError` variant maps to a distinct
+/// kind string in `kind()`, with no wildcard arm (see `semantic.rs`).
+pub const ERROR_KIND: &str = "error-kind-exhaustive";
+/// `forbid-unsafe`: no `unsafe` tokens anywhere, and every library crate
+/// root carries `#![forbid(unsafe_code)]`.
+pub const FORBID_UNSAFE: &str = "forbid-unsafe";
+/// `malformed-allow`: an `ada-lint:` comment that does not parse as
+/// `allow(rule-id) reason` (the reason is mandatory).
+pub const MALFORMED_ALLOW: &str = "malformed-allow";
+/// `unused-allow`: an `allow` comment that suppressed nothing — stale
+/// annotations must be deleted, not accumulated.
+pub const UNUSED_ALLOW: &str = "unused-allow";
+
+/// All rule IDs, in reporting order. JSON reports emit a count per entry
+/// even when zero, so baselines diff cleanly.
+pub const RULES: &[&str] = &[
+    NO_PANIC,
+    BOUNDED_CHANNELS,
+    NO_STD_SYNC,
+    NO_PRINT,
+    ERROR_KIND,
+    FORBID_UNSAFE,
+    MALFORMED_ALLOW,
+    UNUSED_ALLOW,
+];
+
+/// Crates whose pipelines rely on bounded channels for backpressure.
+const PIPELINE_CRATES: &[&str] = &["core", "plfs", "simfs", "vmdsim"];
+/// Crates on the ingest/query hot path that must use `parking_lot`.
+const HOT_CRATES: &[&str] = &["core", "plfs", "simfs"];
+/// Crates exempt from `no-panic-in-lib` / `no-print-in-lib` (CLI + bench
+/// harness; panics there abort one run, not a library caller's pipeline).
+const BENCH_CRATES: &[&str] = &["bench"];
+
+/// One finding, before or after suppression resolution.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable rule ID from [`RULES`].
+    pub rule: &'static str,
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (chars).
+    pub col: u32,
+    /// Human-readable explanation with the fix direction.
+    pub message: String,
+    /// `Some(reason)` once an `allow` comment claimed this finding.
+    pub suppressed: Option<String>,
+}
+
+impl Diagnostic {
+    fn new(rule: &'static str, path: &str, tok: &Token, message: String) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message,
+            suppressed: None,
+        }
+    }
+}
+
+/// A parsed `// ada-lint: allow(rule) reason` directive.
+#[derive(Debug)]
+struct Allow {
+    line: u32,
+    col: u32,
+    rule: String,
+    reason: String,
+    used: bool,
+}
+
+/// Which per-file rules apply, derived from the file's workspace position.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// Crate directory name under `crates/` (e.g. `core`).
+    pub crate_name: String,
+    /// Repo-relative path (e.g. `crates/core/src/ada.rs`).
+    pub path: String,
+    /// `src/main.rs` or `src/bin/**` — binary targets may print and panic.
+    pub is_bin_target: bool,
+}
+
+impl FileClass {
+    fn is_bench(&self) -> bool {
+        BENCH_CRATES.contains(&self.crate_name.as_str())
+    }
+    fn panic_rules_apply(&self) -> bool {
+        !self.is_bench() && !self.is_bin_target
+    }
+    fn is_pipeline(&self) -> bool {
+        PIPELINE_CRATES.contains(&self.crate_name.as_str())
+    }
+    fn is_hot(&self) -> bool {
+        HOT_CRATES.contains(&self.crate_name.as_str())
+    }
+}
+
+/// Run every per-file rule over one file's token stream, resolve
+/// suppressions, and return all diagnostics (suppressed ones included, with
+/// their reasons, so reports can show both sides of the baseline).
+pub fn lint_file(class: &FileClass, tokens: &[Token]) -> Vec<Diagnostic> {
+    let in_test = test_regions(tokens);
+    let (mut allows, mut diags) = parse_allows(class, tokens);
+
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+
+    scan_code_rules(class, tokens, &code, &in_test, &mut diags);
+
+    // Resolve suppressions: an allow covers findings of its rule on its own
+    // line or the line directly below (i.e. a standalone comment above the
+    // offending line, or a trailing comment on it).
+    for d in diags.iter_mut() {
+        if d.rule == MALFORMED_ALLOW || d.rule == UNUSED_ALLOW {
+            continue; // meta-rules are never suppressible
+        }
+        for a in allows.iter_mut() {
+            if a.rule == d.rule && (a.line == d.line || a.line + 1 == d.line) {
+                d.suppressed = Some(a.reason.clone());
+                a.used = true;
+                break;
+            }
+        }
+    }
+    for a in &allows {
+        if !a.used {
+            diags.push(Diagnostic {
+                rule: UNUSED_ALLOW,
+                path: class.path.clone(),
+                line: a.line,
+                col: a.col,
+                message: format!(
+                    "allow({}) suppresses nothing on this or the next line; delete it",
+                    a.rule
+                ),
+                suppressed: None,
+            });
+        }
+    }
+    diags.sort_by_key(|d| (d.line, d.col));
+    diags
+}
+
+/// Token-sequence matching for all code rules in one pass.
+fn scan_code_rules(
+    class: &FileClass,
+    tokens: &[Token],
+    code: &[usize],
+    in_test: &[bool],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let tok = |j: usize| -> &Token { &tokens[code[j]] };
+    let text = |j: usize| -> &str { tok(j).text.as_str() };
+    let is_p = |j: usize, c: char| tok(j).kind == TokenKind::Punct && text(j).starts_with(c);
+
+    for j in 0..code.len() {
+        let t = tok(j);
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let tested = in_test[code[j]];
+
+        // --- no-panic-in-lib ------------------------------------------------
+        if class.panic_rules_apply() && !tested {
+            let is_method_call = |name: &str| {
+                t.text == name
+                    && j > 0
+                    && is_p(j - 1, '.')
+                    && j + 1 < code.len()
+                    && is_p(j + 1, '(')
+            };
+            let is_macro = |name: &str| t.text == name && j + 1 < code.len() && is_p(j + 1, '!');
+            if is_method_call("unwrap") || is_method_call("expect") {
+                diags.push(Diagnostic::new(
+                    NO_PANIC,
+                    &class.path,
+                    t,
+                    format!(
+                        "`.{}()` can panic inside a library/worker path; return a structured \
+                         error (AdaError) or annotate why it is infallible",
+                        t.text
+                    ),
+                ));
+            } else if ["panic", "unreachable", "todo", "unimplemented"]
+                .iter()
+                .any(|m| is_macro(m))
+            {
+                diags.push(Diagnostic::new(
+                    NO_PANIC,
+                    &class.path,
+                    t,
+                    format!(
+                        "`{}!` aborts the thread; in a pipeline this poisons channels instead of \
+                         surfacing an AdaError",
+                        t.text
+                    ),
+                ));
+            }
+        }
+
+        // --- no-print-in-lib ------------------------------------------------
+        if class.panic_rules_apply()
+            && !tested
+            && j + 1 < code.len()
+            && is_p(j + 1, '!')
+            && ["println", "eprintln", "print", "eprint", "dbg"].contains(&t.text.as_str())
+        {
+            diags.push(Diagnostic::new(
+                NO_PRINT,
+                &class.path,
+                t,
+                format!(
+                    "`{}!` in library code; report through return values or ada-telemetry \
+                     (stdout/stderr belong to crates/bench)",
+                    t.text
+                ),
+            ));
+        }
+
+        // --- bounded-channels-only ------------------------------------------
+        if class.is_pipeline() && !tested {
+            // Skip a turbofish (`::<T>`) between the constructor name and
+            // its argument list.
+            let after_generics = |k: usize| -> usize {
+                if k + 2 < code.len() && is_p(k, ':') && is_p(k + 1, ':') && is_p(k + 2, '<') {
+                    let mut depth = 0i32;
+                    let mut m = k + 2;
+                    while m < code.len() {
+                        if is_p(m, '<') {
+                            depth += 1;
+                        } else if is_p(m, '>') {
+                            depth -= 1;
+                            if depth == 0 {
+                                return m + 1;
+                            }
+                        }
+                        m += 1;
+                    }
+                    return m;
+                }
+                k
+            };
+            let k = after_generics(j + 1);
+            let unbounded_ctor =
+                (t.text == "channel" && k + 1 < code.len() && is_p(k, '(') && is_p(k + 1, ')'))
+                    || ((t.text == "unbounded" || t.text == "unbounded_channel")
+                        && k < code.len()
+                        && is_p(k, '('));
+            if unbounded_ctor {
+                diags.push(Diagnostic::new(
+                    BOUNDED_CHANNELS,
+                    &class.path,
+                    t,
+                    "unbounded channel constructor in a pipeline crate; use \
+                     `sync_channel(depth)` so backpressure bounds memory"
+                        .to_string(),
+                ));
+            }
+        }
+
+        // --- no-std-sync-in-hot-crates --------------------------------------
+        if class.is_hot()
+            && !tested
+            && t.text == "std"
+            && matches_path(tokens, code, j, &["std", "::", "sync", "::"])
+        {
+            // `std::sync::X` or `std::sync::{A, B}` — flag banned names.
+            // The matched prefix is six code tokens: `std` `:` `:` `sync`
+            // `:` `:`.
+            const BANNED: &[&str] = &["Mutex", "RwLock", "Condvar"];
+            let after = j + 6;
+            let mut hits: Vec<usize> = Vec::new();
+            if after < code.len() {
+                if is_p(after, '{') {
+                    let mut k = after + 1;
+                    while k < code.len() && !is_p(k, '}') {
+                        if tok(k).kind == TokenKind::Ident && BANNED.contains(&text(k)) {
+                            hits.push(k);
+                        }
+                        k += 1;
+                    }
+                } else if tok(after).kind == TokenKind::Ident && BANNED.contains(&text(after)) {
+                    hits.push(after);
+                }
+            }
+            for h in hits {
+                diags.push(Diagnostic::new(
+                    NO_STD_SYNC,
+                    &class.path,
+                    tok(h),
+                    format!(
+                        "std::sync::{} in a hot crate; use parking_lot::{} (no lock poisoning, \
+                         faster uncontended path)",
+                        text(h),
+                        text(h)
+                    ),
+                ));
+            }
+        }
+
+        // --- forbid-unsafe (token half; crate-root attr half is in lib.rs) --
+        if t.text == "unsafe" {
+            diags.push(Diagnostic::new(
+                FORBID_UNSAFE,
+                &class.path,
+                t,
+                "`unsafe` is forbidden workspace-wide (crate roots carry \
+                 #![forbid(unsafe_code)])"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// True when code tokens starting at `j` spell the `::`-separated path in
+/// `parts` (`::` entries match two consecutive `:` puncts).
+fn matches_path(tokens: &[Token], code: &[usize], j: usize, parts: &[&str]) -> bool {
+    let mut k = j;
+    for part in parts {
+        if *part == "::" {
+            let ok = k + 1 < code.len()
+                && tokens[code[k]].text == ":"
+                && tokens[code[k + 1]].text == ":"
+                && tokens[code[k]].kind == TokenKind::Punct
+                && tokens[code[k + 1]].kind == TokenKind::Punct;
+            if !ok {
+                return false;
+            }
+            k += 2;
+        } else {
+            if k >= code.len()
+                || tokens[code[k]].kind != TokenKind::Ident
+                || tokens[code[k]].text != *part
+            {
+                return false;
+            }
+            k += 1;
+        }
+    }
+    true
+}
+
+/// Mark every token that lives inside `#[cfg(test)]` / `#[test]` items.
+///
+/// The scan walks attributes; when one is a test marker it brackets the
+/// following item (through its `{ … }` body or terminating `;`) and marks
+/// the token range. `cfg(any(test, …))` counts: any `test` ident inside a
+/// `cfg` attribute marks the item.
+fn test_regions(tokens: &[Token]) -> Vec<bool> {
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let mut marked = vec![false; tokens.len()];
+    let is_p = |j: usize, c: char| {
+        tokens[code[j]].kind == TokenKind::Punct && tokens[code[j]].text.starts_with(c)
+    };
+
+    let mut j = 0usize;
+    while j < code.len() {
+        if !(is_p(j, '#') && j + 1 < code.len() && is_p(j + 1, '[')) {
+            j += 1;
+            continue;
+        }
+        // Find the attribute's closing `]`.
+        let mut depth = 0i32;
+        let mut end = j + 1;
+        while end < code.len() {
+            if is_p(end, '[') {
+                depth += 1;
+            } else if is_p(end, ']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            end += 1;
+        }
+        if end >= code.len() {
+            break; // unterminated attribute; nothing more to mark
+        }
+        let content: Vec<&str> = code[j + 2..end]
+            .iter()
+            .map(|&i| tokens[i].text.as_str())
+            .collect();
+        let is_test_attr = content.as_slice() == ["test"]
+            || (content.first() == Some(&"cfg")
+                && content.iter().enumerate().any(|(i, t)| {
+                    // `test` counts unless negated as `not(test)`.
+                    *t == "test" && !(i >= 2 && content[i - 2] == "not")
+                }));
+        if is_test_attr {
+            if let Some(item_end) = item_extent(tokens, &code, end + 1) {
+                let from = code[j];
+                let to = code[item_end];
+                for slot in marked.iter_mut().take(to + 1).skip(from) {
+                    *slot = true;
+                }
+            }
+        }
+        j = end + 1;
+    }
+    marked
+}
+
+/// From code index `start` (just after a test attribute), find the code
+/// index of the token that ends the annotated item: the `}` matching its
+/// first body brace, or a `;` reached before any brace. Skips stacked
+/// attributes and ignores braces nested in `(…)` / `[…]` (e.g. default
+/// expressions) while searching for the body.
+fn item_extent(tokens: &[Token], code: &[usize], start: usize) -> Option<usize> {
+    let is_p = |j: usize, c: char| {
+        tokens[code[j]].kind == TokenKind::Punct && tokens[code[j]].text.starts_with(c)
+    };
+    let mut j = start;
+    // Skip further attributes (`#[…]`) stacked on the same item.
+    while j + 1 < code.len() && is_p(j, '#') && is_p(j + 1, '[') {
+        let mut depth = 0i32;
+        j += 1;
+        while j < code.len() {
+            if is_p(j, '[') {
+                depth += 1;
+            } else if is_p(j, ']') {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    // Find the item body `{` (at zero paren/bracket depth) or a `;`.
+    let mut pb = 0i32;
+    while j < code.len() {
+        if is_p(j, '(') || is_p(j, '[') {
+            pb += 1;
+        } else if is_p(j, ')') || is_p(j, ']') {
+            pb -= 1;
+        } else if pb == 0 && is_p(j, ';') {
+            return Some(j);
+        } else if pb == 0 && is_p(j, '{') {
+            let mut depth = 0i32;
+            while j < code.len() {
+                if is_p(j, '{') {
+                    depth += 1;
+                } else if is_p(j, '}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                j += 1;
+            }
+            return Some(code.len() - 1);
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Extract `ada-lint: allow(rule) reason` directives from comments; emit
+/// `malformed-allow` diagnostics for ones that don't parse or lack a reason.
+fn parse_allows(class: &FileClass, tokens: &[Token]) -> (Vec<Allow>, Vec<Diagnostic>) {
+    let mut allows = Vec::new();
+    let mut diags = Vec::new();
+    for t in tokens {
+        if !t.is_comment() {
+            continue;
+        }
+        // Doc comments document the syntax; only plain comments carry
+        // directives.
+        let is_doc = ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|p| t.text.starts_with(p));
+        if is_doc {
+            continue;
+        }
+        let Some(pos) = t.text.find("ada-lint:") else {
+            continue;
+        };
+        let rest = t.text[pos + "ada-lint:".len()..].trim_start();
+        let parsed = rest.strip_prefix("allow").and_then(|r| {
+            let r = r.trim_start();
+            let r = r.strip_prefix('(')?;
+            let close = r.find(')')?;
+            let rule = r[..close].trim().to_string();
+            let reason = r[close + 1..]
+                .trim()
+                .trim_start_matches([':', '-', '—'])
+                .trim()
+                .trim_end_matches("*/")
+                .trim()
+                .to_string();
+            Some((rule, reason))
+        });
+        match parsed {
+            Some((rule, reason)) if RULES.contains(&rule.as_str()) && !reason.is_empty() => {
+                allows.push(Allow {
+                    line: t.line,
+                    col: t.col,
+                    rule,
+                    reason,
+                    used: false,
+                });
+            }
+            Some((rule, reason)) => {
+                let why = if !RULES.contains(&rule.as_str()) {
+                    format!("unknown rule '{}'", rule)
+                } else if reason.is_empty() {
+                    "missing reason — every allow must say why the site is safe".to_string()
+                } else {
+                    "unparsable directive".to_string()
+                };
+                diags.push(Diagnostic::new(
+                    MALFORMED_ALLOW,
+                    &class.path,
+                    t,
+                    format!("bad ada-lint directive: {}", why),
+                ));
+            }
+            None => {
+                diags.push(Diagnostic::new(
+                    MALFORMED_ALLOW,
+                    &class.path,
+                    t,
+                    "bad ada-lint directive: expected `ada-lint: allow(rule-id) reason`"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    (allows, diags)
+}
+
+/// Crate-root check for `#![forbid(unsafe_code)]` — called once per crate
+/// on its `src/lib.rs` token stream.
+pub fn check_crate_root(class: &FileClass, tokens: &[Token]) -> Option<Diagnostic> {
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    for j in 0..code.len().saturating_sub(6) {
+        let texts: Vec<&str> = code[j..j + 7]
+            .iter()
+            .map(|&i| tokens[i].text.as_str())
+            .collect();
+        if texts == ["#", "!", "[", "forbid", "(", "unsafe_code", ")"] {
+            return None;
+        }
+    }
+    Some(Diagnostic {
+        rule: FORBID_UNSAFE,
+        path: class.path.clone(),
+        line: 1,
+        col: 1,
+        message: "crate root is missing #![forbid(unsafe_code)]".to_string(),
+        suppressed: None,
+    })
+}

@@ -1,0 +1,266 @@
+//! Cross-file semantic pass: `error-kind-exhaustive`.
+//!
+//! Telemetry counts failures as `ada.{op}.err.{kind}`, so `AdaError::kind()`
+//! is load-bearing: every variant must map to its *own* stable kind string.
+//! The compiler guarantees the match covers every variant only while nobody
+//! writes a `_ =>` arm — and it never checks distinctness. This pass walks
+//! the tokens of `crates/core` (wherever the enum and impl live), recovers
+//! the variant list and the `kind()` arm list, and flags:
+//!
+//! * a variant with no arm in `kind()` (only possible via a wildcard),
+//! * two variants sharing one kind string,
+//! * a `_ =>` wildcard arm, which would let future variants silently alias,
+//! * a missing enum or missing `kind()` (configuration rot).
+//!
+//! These diagnostics are **not** suppressible: a wrong kind map silently
+//! corrupts error-rate telemetry, so there is no safe reason to allow it.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{Diagnostic, ERROR_KIND};
+
+/// Name of the error enum whose `kind()` map is checked.
+pub const ERROR_ENUM: &str = "AdaError";
+
+/// A parsed `kind()` arm: variant name → kind string.
+#[derive(Debug)]
+struct KindArm {
+    variant: String,
+    kind: String,
+    line: u32,
+    col: u32,
+}
+
+/// Run the pass over `(path, tokens)` pairs from the core crate.
+pub fn check_error_kinds(files: &[(String, Vec<Token>)]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    let enum_site = files
+        .iter()
+        .find_map(|(p, toks)| find_enum_variants(toks).map(|v| (p.as_str(), v)));
+    let kind_site = files
+        .iter()
+        .find_map(|(p, toks)| find_kind_arms(toks).map(|v| (p.as_str(), v)));
+
+    let (enum_path, variants) = match enum_site {
+        Some(site) => site,
+        None => {
+            diags.push(at(
+                "crates/core",
+                1,
+                1,
+                format!(
+                    "enum {} not found in crates/core — the error-kind pass has nothing to check",
+                    ERROR_ENUM
+                ),
+            ));
+            return diags;
+        }
+    };
+    let (kind_path, arms) = match kind_site {
+        Some(site) => site,
+        None => {
+            diags.push(at(
+                enum_path,
+                1,
+                1,
+                format!(
+                    "{}::kind() not found — telemetry cannot classify errors without it",
+                    ERROR_ENUM
+                ),
+            ));
+            return diags;
+        }
+    };
+
+    // Every variant must have an arm.
+    for (variant, line, col) in &variants {
+        if variant == "_" {
+            continue;
+        }
+        if !arms.iter().any(|a| &a.variant == variant) {
+            diags.push(at(
+                enum_path,
+                *line,
+                *col,
+                format!(
+                    "{}::{} has no arm in kind(); every variant needs its own kind string",
+                    ERROR_ENUM, variant
+                ),
+            ));
+        }
+    }
+
+    // Kind strings must be pairwise distinct.
+    for (i, a) in arms.iter().enumerate() {
+        if let Some(b) = arms[..i].iter().find(|b| b.kind == a.kind) {
+            diags.push(at(
+                kind_path,
+                a.line,
+                a.col,
+                format!(
+                    "kind \"{}\" is reused by {}::{} and {}::{}; telemetry would merge their \
+                     error rates",
+                    a.kind, ERROR_ENUM, b.variant, ERROR_ENUM, a.variant
+                ),
+            ));
+        }
+    }
+
+    // No wildcard arm.
+    for a in &arms {
+        if a.variant == "_" {
+            diags.push(at(
+                kind_path,
+                a.line,
+                a.col,
+                "wildcard `_ =>` arm in kind(); new variants would silently alias an existing \
+                 kind instead of failing the build"
+                    .to_string(),
+            ));
+        }
+    }
+
+    diags
+}
+
+fn at(path: &str, line: u32, col: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        rule: ERROR_KIND,
+        path: path.to_string(),
+        line,
+        col,
+        message,
+        suppressed: None,
+    }
+}
+
+/// Find `enum AdaError { … }` and return its variant names with spans.
+fn find_enum_variants(tokens: &[Token]) -> Option<Vec<(String, u32, u32)>> {
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let is_p = |j: usize, c: char| {
+        tokens[code[j]].kind == TokenKind::Punct && tokens[code[j]].text.starts_with(c)
+    };
+    let txt = |j: usize| tokens[code[j]].text.as_str();
+
+    let mut j = 0usize;
+    let start = loop {
+        if j + 2 >= code.len() {
+            return None;
+        }
+        if txt(j) == "enum" && txt(j + 1) == ERROR_ENUM && is_p(j + 2, '{') {
+            break j + 3;
+        }
+        j += 1;
+    };
+
+    let mut variants = Vec::new();
+    let mut expect_variant = true;
+    let mut j = start;
+    let mut depth = 1i32; // inside the enum's `{`
+    while j < code.len() && depth > 0 {
+        if is_p(j, '{') || is_p(j, '(') || is_p(j, '[') {
+            depth += 1;
+        } else if is_p(j, '}') || is_p(j, ')') || is_p(j, ']') {
+            depth -= 1;
+        } else if depth == 1 {
+            if is_p(j, ',') {
+                expect_variant = true;
+            } else if is_p(j, '#') {
+                // attribute on the next variant; skip its [...] group
+            } else if expect_variant && tokens[code[j]].kind == TokenKind::Ident {
+                let t = &tokens[code[j]];
+                variants.push((t.text.clone(), t.line, t.col));
+                expect_variant = false;
+            }
+        }
+        j += 1;
+    }
+    Some(variants)
+}
+
+/// Find `fn kind(…) { … match … { arms } }` and parse `AdaError::Variant`
+/// (or `_`) patterns with the string literal each arm returns.
+fn find_kind_arms(tokens: &[Token]) -> Option<Vec<KindArm>> {
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let is_p = |j: usize, c: char| {
+        tokens[code[j]].kind == TokenKind::Punct && tokens[code[j]].text.starts_with(c)
+    };
+    let txt = |j: usize| tokens[code[j]].text.as_str();
+
+    // Locate `fn kind`.
+    let mut j = 0usize;
+    let fn_at = loop {
+        if j + 1 >= code.len() {
+            return None;
+        }
+        if txt(j) == "fn" && txt(j + 1) == "kind" {
+            break j;
+        }
+        j += 1;
+    };
+
+    // Find the `match` keyword, then its `{`.
+    let mut j = fn_at;
+    while j < code.len() && txt(j) != "match" {
+        j += 1;
+    }
+    while j < code.len() && !is_p(j, '{') {
+        j += 1;
+    }
+    if j >= code.len() {
+        return None;
+    }
+
+    let mut arms = Vec::new();
+    let mut depth = 1i32;
+    let mut pending: Vec<(String, u32, u32)> = Vec::new();
+    let mut k = j + 1;
+    while k < code.len() && depth > 0 {
+        if is_p(k, '{') || is_p(k, '(') || is_p(k, '[') {
+            depth += 1;
+        } else if is_p(k, '}') || is_p(k, ')') || is_p(k, ']') {
+            depth -= 1;
+        } else if depth == 1 {
+            if txt(k) == ERROR_ENUM
+                && k + 3 < code.len()
+                && is_p(k + 1, ':')
+                && is_p(k + 2, ':')
+                && tokens[code[k + 3]].kind == TokenKind::Ident
+            {
+                let t = &tokens[code[k + 3]];
+                pending.push((t.text.clone(), t.line, t.col));
+                k += 4;
+                continue;
+            }
+            if txt(k) == "_" && k + 1 < code.len() && is_p(k + 1, '=') {
+                let t = &tokens[code[k]];
+                pending.push(("_".to_string(), t.line, t.col));
+            }
+            if is_p(k, '=') && k + 1 < code.len() && is_p(k + 1, '>') {
+                // Arm body: record the string literal it yields, if any.
+                if k + 2 < code.len() && tokens[code[k + 2]].kind == TokenKind::Str {
+                    let lit = &tokens[code[k + 2]].text;
+                    let kind = lit.trim_matches('"').to_string();
+                    for (variant, line, col) in pending.drain(..) {
+                        arms.push(KindArm {
+                            variant,
+                            kind: kind.clone(),
+                            line,
+                            col,
+                        });
+                    }
+                } else {
+                    pending.clear();
+                }
+                k += 2;
+                continue;
+            }
+        }
+        k += 1;
+    }
+    Some(arms)
+}

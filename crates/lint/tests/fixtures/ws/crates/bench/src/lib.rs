@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+//! Bench fixture: the CLI crate may print and panic.
+pub fn report(x: Option<u32>) {
+    println!("{}", x.unwrap());
+}

@@ -1,0 +1,4 @@
+fn main() {
+    let x: Option<u32> = Some(5);
+    println!("{}", x.unwrap());
+}

@@ -1,0 +1,202 @@
+//! Fixture tests for the lexer and the rule engine.
+//!
+//! The fixture workspaces live under `tests/fixtures/` — outside any cargo
+//! target, so their deliberately-broken sources are never compiled; they are
+//! only lexed by ada-lint itself.
+
+use ada_lint::lexer::{self, TokenKind};
+use ada_lint::run_workspace;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn lexer_never_tokenizes_unwrap_inside_strings_or_comments() {
+    let src = concat!(
+        "let s = \"call .unwrap() or panic!() here\";\n",
+        "/* outer /* nested unwrap() */ done */\n",
+        "let r = r##\"raw \"quoted\" unwrap()\"##;\n",
+        "// trailing unwrap() in a line comment\n",
+    );
+    let toks = lexer::lex(src);
+    assert!(
+        toks.iter()
+            .all(|t| !(t.kind == TokenKind::Ident && t.text == "unwrap")),
+        "unwrap leaked out of a string/comment as an identifier"
+    );
+    assert_eq!(
+        toks.iter().filter(|t| t.kind == TokenKind::Str).count(),
+        2,
+        "plain + raw string should each be one Str token"
+    );
+    assert_eq!(
+        toks.iter()
+            .filter(|t| t.kind == TokenKind::BlockComment)
+            .count(),
+        1,
+        "nested block comment must collapse into one token"
+    );
+    assert_eq!(
+        toks.iter()
+            .filter(|t| t.kind == TokenKind::LineComment)
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn lexer_distinguishes_lifetimes_from_char_literals() {
+    let toks = lexer::lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+    let lifetimes: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, ["'a", "'a"]);
+    let chars: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Char)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(chars, ["'x'"]);
+}
+
+#[test]
+fn lexer_spans_are_one_based() {
+    let toks = lexer::lex("ab cd\n  ef");
+    let spans: Vec<(&str, u32, u32)> = toks
+        .iter()
+        .map(|t| (t.text.as_str(), t.line, t.col))
+        .collect();
+    assert_eq!(spans, [("ab", 1, 1), ("cd", 1, 4), ("ef", 2, 3)]);
+}
+
+/// The dirty fixture exercises every rule; expectations are exact
+/// `(rule, line, col, suppressed)` tuples, so spans cannot drift.
+#[test]
+fn fixture_workspace_reports_every_rule_with_exact_spans() {
+    let report = run_workspace(&fixture("ws")).unwrap();
+    assert_eq!(report.files_scanned, 3, "core lib + core bin + bench lib");
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .all(|d| d.path == "crates/core/src/lib.rs"),
+        "bench crates and bin targets must not produce findings: {:?}",
+        report.diagnostics
+    );
+    let got: Vec<(&str, u32, u32, bool)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule, d.line, d.col, d.suppressed.is_some()))
+        .collect();
+    let expected = [
+        ("forbid-unsafe", 1, 1, false), // missing #![forbid(unsafe_code)]
+        ("no-std-sync-in-hot-crates", 2, 16, false),
+        ("error-kind-exhaustive", 8, 5, false), // variant C unmapped
+        ("error-kind-exhaustive", 15, 23, false), // duplicate kind "a"
+        ("error-kind-exhaustive", 16, 13, false), // wildcard arm
+        ("no-panic-in-lib", 24, 7, false),
+        ("no-panic-in-lib", 30, 15, true), // allow on the line above
+        ("no-panic-in-lib", 31, 15, false), // allow covers exactly one line
+        ("bounded-channels-only", 36, 28, false), // turbofish form
+        ("no-print-in-lib", 41, 5, false),
+        ("forbid-unsafe", 46, 5, false), // `unsafe` token
+        ("unused-allow", 49, 1, false),
+        ("malformed-allow", 52, 1, false),
+    ];
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn allow_comment_suppresses_exactly_one_finding_and_keeps_its_reason() {
+    let report = run_workspace(&fixture("ws")).unwrap();
+    let suppressed: Vec<_> = report.suppressed().collect();
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].line, 30);
+    assert_eq!(
+        suppressed[0].suppressed.as_deref(),
+        Some("fixture: first unwrap is guarded by the caller")
+    );
+    // The structurally identical unwrap on the next line stays open.
+    assert!(report
+        .unsuppressed()
+        .any(|d| d.rule == "no-panic-in-lib" && d.line == 31));
+}
+
+#[test]
+fn clean_workspace_has_no_findings() {
+    let report = run_workspace(&fixture("clean_ws")).unwrap();
+    assert_eq!(report.files_scanned, 1);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn json_report_parses_back_with_per_rule_counts() {
+    let report = run_workspace(&fixture("ws")).unwrap();
+    let v = ada_json::parse(&report.to_json().to_vec()).unwrap();
+    assert_eq!(v.field("schema").unwrap().as_str().unwrap(), "ada-lint/1");
+    assert_eq!(v.field("files_scanned").unwrap().as_u64().unwrap(), 3);
+    assert_eq!(v.field("unsuppressed_total").unwrap().as_u64().unwrap(), 12);
+    assert_eq!(v.field("suppressed_total").unwrap().as_u64().unwrap(), 1);
+
+    let rules = v.field("rules").unwrap();
+    let count = |rule: &str, key: &str| {
+        rules
+            .field(rule)
+            .unwrap()
+            .field(key)
+            .unwrap()
+            .as_u64()
+            .unwrap()
+    };
+    assert_eq!(count("no-panic-in-lib", "unsuppressed"), 2);
+    assert_eq!(count("no-panic-in-lib", "suppressed"), 1);
+    assert_eq!(count("error-kind-exhaustive", "unsuppressed"), 3);
+    assert_eq!(count("bounded-channels-only", "unsuppressed"), 1);
+    assert_eq!(count("no-std-sync-in-hot-crates", "unsuppressed"), 1);
+    assert_eq!(count("no-print-in-lib", "unsuppressed"), 1);
+    assert_eq!(count("forbid-unsafe", "unsuppressed"), 2);
+    assert_eq!(count("malformed-allow", "unsuppressed"), 1);
+    assert_eq!(count("unused-allow", "unsuppressed"), 1);
+
+    assert_eq!(v.field("findings").unwrap().as_arr().unwrap().len(), 12);
+    let sups = v.field("suppressions").unwrap().as_arr().unwrap();
+    assert_eq!(sups.len(), 1);
+    assert_eq!(
+        sups[0].field("allow_reason").unwrap().as_str().unwrap(),
+        "fixture: first unwrap is guarded by the caller"
+    );
+}
+
+/// Acceptance criterion: `--deny` exits non-zero when fixture violations
+/// are present and zero on a clean tree.
+#[test]
+fn deny_flag_drives_the_exit_code() {
+    let bin = env!("CARGO_BIN_EXE_ada-lint");
+
+    let dirty = std::process::Command::new(bin)
+        .args(["--workspace", "--deny", "--root"])
+        .arg(fixture("ws"))
+        .output()
+        .unwrap();
+    assert_eq!(dirty.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&dirty.stdout);
+    assert!(
+        stdout.contains("crates/core/src/lib.rs:24:7 [no-panic-in-lib]"),
+        "diagnostic lines must be span-accurate: {}",
+        stdout
+    );
+
+    let clean = std::process::Command::new(bin)
+        .args(["--workspace", "--deny", "--root"])
+        .arg(fixture("clean_ws"))
+        .output()
+        .unwrap();
+    assert_eq!(clean.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&clean.stdout).contains("0 findings"));
+}

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! # ada-mdformats — molecular file formats, from scratch
 //!
 //! The ADA paper's data plane is built around two file types (§2.1):

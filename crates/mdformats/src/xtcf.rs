@@ -138,6 +138,13 @@ impl XtcfWriter {
     }
 }
 
+/// Copy the first four bytes of a slice the caller has already
+/// length-checked (header bounds or `take(4)`), so little-endian reads
+/// need no fallible `try_into`.
+fn le_bytes4(b: &[u8]) -> [u8; 4] {
+    [b[0], b[1], b[2], b[3]]
+}
+
 /// Streaming XTCF reader.
 #[derive(Debug)]
 pub struct XtcfReader<'a> {
@@ -151,11 +158,11 @@ impl<'a> XtcfReader<'a> {
         if data.len() < XTCF_HEADER_LEN {
             return Err(FormatError::UnexpectedEof);
         }
-        let magic = u32::from_le_bytes(data[0..4].try_into().unwrap());
+        let magic = u32::from_le_bytes(le_bytes4(&data[0..4]));
         if magic != XTCF_MAGIC {
             return Err(FormatError::Corrupt(format!("bad magic {:#x}", magic)));
         }
-        let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
+        let version = u32::from_le_bytes(le_bytes4(&data[4..8]));
         if version != XTCF_VERSION {
             return Err(FormatError::Corrupt(format!("bad version {}", version)));
         }
@@ -179,22 +186,22 @@ impl<'a> XtcfReader<'a> {
         if self.pos == self.data.len() {
             return Ok(None);
         }
-        let step = i32::from_le_bytes(self.take(4)?.try_into().unwrap());
-        let time = f32::from_le_bytes(self.take(4)?.try_into().unwrap());
+        let step = i32::from_le_bytes(le_bytes4(self.take(4)?));
+        let time = f32::from_le_bytes(le_bytes4(self.take(4)?));
         let mut pbc = PbcBox::zero();
         for r in 0..3 {
             for c in 0..3 {
-                pbc.m[r][c] = f32::from_le_bytes(self.take(4)?.try_into().unwrap());
+                pbc.m[r][c] = f32::from_le_bytes(le_bytes4(self.take(4)?));
             }
         }
-        let n = u32::from_le_bytes(self.take(4)?.try_into().unwrap()) as usize;
+        let n = u32::from_le_bytes(le_bytes4(self.take(4)?)) as usize;
         let body = self.take(n * 12)?;
         let mut coords = Vec::with_capacity(n);
         for chunk in body.chunks_exact(12) {
             coords.push([
-                f32::from_le_bytes(chunk[0..4].try_into().unwrap()),
-                f32::from_le_bytes(chunk[4..8].try_into().unwrap()),
-                f32::from_le_bytes(chunk[8..12].try_into().unwrap()),
+                f32::from_le_bytes(le_bytes4(&chunk[0..4])),
+                f32::from_le_bytes(le_bytes4(&chunk[4..8])),
+                f32::from_le_bytes(le_bytes4(&chunk[8..12])),
             ]);
         }
         Ok(Some(Frame {

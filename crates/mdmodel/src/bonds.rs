@@ -114,6 +114,7 @@ fn dist2(a: [f32; 3], b: [f32; 3]) -> f32 {
 }
 
 /// Uniform cell grid over the coordinate bounding box.
+#[derive(Debug)]
 pub struct CellGrid {
     origin: [f32; 3],
     cell: f32,

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! # ada-mdmodel — molecular system model
 //!
 //! Foundation types shared by the whole ADA reproduction:

@@ -340,10 +340,10 @@ impl Parser {
                 let chains = names
                     .iter()
                     .map(|n| {
-                        if n.len() == 1 {
-                            Ok(n.chars().next().unwrap())
-                        } else {
-                            Err(format!("chain id must be one character, got '{}'", n))
+                        let mut it = n.chars();
+                        match (it.next(), it.next()) {
+                            (Some(c), None) => Ok(c),
+                            _ => Err(format!("chain id must be one character, got '{}'", n)),
                         }
                     })
                     .collect::<Result<Vec<char>, String>>()?;

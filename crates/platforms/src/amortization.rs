@@ -49,6 +49,7 @@ pub fn ingest_amortization(frames: u64) -> Amortization {
             "bar",
             IngestInput::Synthetic(SyntheticDataset::gpcr_paper(frames)),
         )
+        // ada-lint: allow(no-panic-in-lib) paper-figure harness over fixed synthetic inputs; a failure is a harness bug and aborting one repro run is acceptable
         .expect("ingest");
     let ingest_s = report.total().as_secs_f64();
 

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! # ada-platforms — the paper's three testbeds and every experiment
 //!
 //! §4 evaluates ADA on (1) an NVMe **SSD server**, (2) a **nine-node

@@ -115,6 +115,18 @@ pub struct ContainerSet {
     containers: Mutex<BTreeMap<String, ContainerIndex>>,
 }
 
+impl std::fmt::Debug for ContainerSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Backend names identify the stack; the container index stays
+        // behind its Mutex (and `dyn SimFileSystem` has no Debug bound).
+        let names: Vec<&str> = self.backends.iter().map(|(n, _)| n.as_str()).collect();
+        f.debug_struct("ContainerSet")
+            .field("backends", &names)
+            .field("containers", &self.containers.lock().len())
+            .finish()
+    }
+}
+
 impl ContainerSet {
     /// New container set over named backend mounts (e.g. `[("mnt1", ssd),
     /// ("mnt2", hdd)]`).

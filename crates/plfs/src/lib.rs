@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! # ada-plfs — a PLFS-style container layer with multiple backends
 //!
 //! ADA's I/O dispatcher "is developed based on PLFS, a parallel

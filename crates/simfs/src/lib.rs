@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! # ada-simfs — simulated file systems
 //!
 //! The file-system layer ADA sits on top of (Fig. 4's bottom box): local

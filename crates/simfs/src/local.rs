@@ -92,6 +92,17 @@ pub struct LocalFs {
     trace: Option<TraceLog>,
 }
 
+impl std::fmt::Debug for LocalFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Skip the Mutex'd file table: identity + tuning are what a dump
+        // of a storage stack needs.
+        f.debug_struct("LocalFs")
+            .field("name", &self.name)
+            .field("params", &self.params)
+            .finish_non_exhaustive()
+    }
+}
+
 impl LocalFs {
     /// New local FS.
     pub fn new(name: impl Into<String>, params: FsParams, backing: Backing) -> LocalFs {

@@ -50,6 +50,17 @@ pub struct StripedFs {
     trace: Option<TraceLog>,
 }
 
+impl std::fmt::Debug for StripedFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Skip the Mutex'd server state: identity + tuning are what a
+        // dump of a storage stack needs.
+        f.debug_struct("StripedFs")
+            .field("name", &self.name)
+            .field("params", &self.params)
+            .finish_non_exhaustive()
+    }
+}
+
 impl StripedFs {
     /// New striped FS over per-server devices.
     pub fn new(

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! # ada-storagesim — virtual-time storage / CPU / memory / energy simulator
 //!
 //! The paper evaluates ADA on three physical platforms (an NVMe SSD server,

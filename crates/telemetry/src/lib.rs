@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! # ada-telemetry — in-tree observability for the ADA middleware
 //!
 //! The ingest engine is a decoder→splitter→dispatcher pipeline, but until
@@ -159,6 +162,18 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Metric handles are atomics behind Arcs; summarize by name count
+        // instead of locking all three maps for a full dump.
+        f.debug_struct("Registry")
+            .field("counters", &self.counters.lock().len())
+            .field("gauges", &self.gauges.lock().len())
+            .field("histograms", &self.histograms.lock().len())
+            .finish()
+    }
 }
 
 impl Registry {

@@ -20,6 +20,7 @@ use std::sync::Arc;
 
 /// Console state: a session plus name→bytes file registry and an optional
 /// ADA mount.
+#[derive(Debug)]
 pub struct VmdConsole {
     session: VmdSession,
     files: BTreeMap<String, Vec<u8>>,

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! # ada-vmdsim — a VMD-like visualization front end
 //!
 //! The paper uses VMD as the fixed downstream consumer: it loads a

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! # ada-workload — synthetic GPCR-like systems and trajectories
 //!
 //! The paper evaluates ADA with trajectories from the GPCR (CB1 receptor)

@@ -205,6 +205,67 @@ fn corrupt_dropping_yields_xtcf_error_on_both_paths() {
     }
 }
 
+/// Rewrite one protein dropping with a prefix of its own bytes — a
+/// mid-frame truncation, the classic partial-write corruption.
+fn truncate_protein_dropping(r: &Rig, keep: usize) -> String {
+    let paths = r.ssd.list("ssd/d/hostdir.0/");
+    let dropping = paths
+        .iter()
+        .find(|p| p.contains("dropping.data.p"))
+        .expect("protein dropping exists")
+        .clone();
+    let len = r.ssd.stat(&dropping).unwrap().len as usize;
+    r.ssd.delete(&dropping).unwrap();
+    r.ssd
+        .create(&dropping, Content::real(vec![0x5Au8; keep.min(len)]))
+        .unwrap();
+    dropping
+}
+
+/// Satellite regression for the panic burn-down: malformed droppings of
+/// several shapes (truncated mid-frame, zero-length) fed through the
+/// parallel query pipeline must surface as structured `AdaError`s — never
+/// as a worker panic — and must leave the `Ada` instance fully usable
+/// (a panicking worker would poison the stage channels instead).
+#[test]
+fn malformed_dropping_in_parallel_query_is_a_structured_error_not_a_panic() {
+    for (what, keep) in [("truncated", 40usize), ("zero-length", 0usize)] {
+        for threads in [0, 1, 4, 8] {
+            let r = rig(threads, 2);
+            ingest_real(&r.ada, "d", 1200, 6, 61);
+            truncate_protein_dropping(&r, keep);
+
+            for tag in [Some(Tag::protein()), None] {
+                // `unwrap_err` both asserts failure and proves no panic
+                // escaped the pipeline (a panic would abort this test).
+                let err = r.ada.query("d", tag.as_ref()).unwrap_err();
+                assert!(
+                    !err.kind().is_empty() && err.kind() != "internal",
+                    "{} threads={} tag={:?}: want a decode/read error, got {:?} ({})",
+                    what,
+                    threads,
+                    tag,
+                    err,
+                    err.kind()
+                );
+                assert!(!err.to_string().is_empty());
+            }
+
+            // The pipeline survived: untouched subsets still retrieve, so
+            // no stage thread died holding a channel.
+            assert!(
+                r.ada.query("d", Some(&Tag::misc())).is_ok(),
+                "{} threads={}: pipeline unusable after failed query",
+                what,
+                threads
+            );
+            // And the instance still ingests + queries fresh datasets.
+            ingest_real(&r.ada, "d2", 600, 3, 62);
+            assert!(r.ada.query("d2", None).is_ok());
+        }
+    }
+}
+
 #[test]
 fn failed_queries_do_not_bump_access_counters() {
     for threads in [0, 4] {
