@@ -86,6 +86,7 @@ fn main() {
             "profile-ingest" => profile_ingest(),
             "bench-query" => bench_query(),
             "profile-query" => profile_query(),
+            "bench-contention" => bench_contention(),
             "lint" => run_lint(lint_json),
             other => eprintln!("unknown item '{}'", other),
         }
@@ -1030,6 +1031,205 @@ fn bench_query() {
     ]);
     std::fs::write("BENCH_query.json", json.to_vec()).expect("write BENCH_query.json");
     println!("  wrote BENCH_query.json\n");
+}
+
+/// `repro bench-contention` — measured (not modeled) Fig-9: sweep
+/// concurrent client counts through the admission front-end over ONE
+/// shared `Ada` and record throughput and p50/p99 request latency for the
+/// ADA path (protein-subset query) and the baseline path (full-frame
+/// query). A final run through a deliberately starved queue shows typed
+/// load shedding. Writes BENCH_contention.json; the front-end's queue
+/// HWM gauges, admission-wait histograms and reject counters land in the
+/// global telemetry snapshot (`--metrics-out`).
+fn bench_contention() {
+    use ada_core::IngestInput;
+    use ada_frontend::{Frontend, FrontendConfig, FrontendStats};
+    use ada_json::Value;
+    use ada_mdformats::write_pdb;
+    use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const CLIENTS: [usize; 4] = [1, 2, 4, 8];
+    const REQS_PER_CLIENT: usize = 6;
+
+    let w = ada_workload::gpcr_workload(2_000, 200, 7);
+    let pdb_text = write_pdb(&w.system);
+    let xtc_bytes = write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap();
+    let ada = Arc::new({
+        let ada = query_bench_ada(0); // per-request serial: concurrency comes from slots
+        ada.ingest(
+            "bench",
+            IngestInput::Real {
+                pdb_text,
+                xtc_bytes,
+            },
+        )
+        .unwrap();
+        ada
+    });
+
+    struct Run {
+        mode: &'static str,
+        clients: usize,
+        ok: u64,
+        shed: u64,
+        wall_s: f64,
+        p50_ms: f64,
+        p99_ms: f64,
+        stats: FrontendStats,
+    }
+
+    // One contention run: `clients` threads, each issuing
+    // REQS_PER_CLIENT queries for `tag` through a fresh front-end.
+    let run = |mode: &'static str, tag: Option<Tag>, clients: usize, queue: usize| -> Run {
+        let fe = Frontend::new(
+            Arc::clone(&ada),
+            FrontendConfig {
+                query_queue: queue,
+                ..FrontendConfig::default()
+            },
+        );
+        let latencies = ada_telemetry::Histogram::new();
+        let mut ok = 0u64;
+        let mut shed = 0u64;
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..clients {
+                let fe = &fe;
+                let tag = tag.clone();
+                let latencies = &latencies;
+                handles.push(scope.spawn(move || {
+                    let client = format!("c{}", t);
+                    let mut ok = 0u64;
+                    let mut shed = 0u64;
+                    for _ in 0..REQS_PER_CLIENT {
+                        let t0 = Instant::now();
+                        match fe.query(&client, "bench", tag.as_ref()) {
+                            Ok(_) => {
+                                latencies.record(t0.elapsed().as_nanos() as u64);
+                                ok += 1;
+                            }
+                            Err(_) => shed += 1, // typed Overloaded; counted below
+                        }
+                    }
+                    (ok, shed)
+                }));
+            }
+            for h in handles {
+                let (o, s) = h.join().expect("client thread must not panic");
+                ok += o;
+                shed += s;
+            }
+        });
+        let wall_s = t0.elapsed().as_secs_f64();
+        let snap = latencies.snapshot();
+        Run {
+            mode,
+            clients,
+            ok,
+            shed,
+            wall_s,
+            p50_ms: snap.p50 / 1e6,
+            p99_ms: snap.p99 / 1e6,
+            stats: fe.stats(),
+        }
+    };
+
+    let mut runs: Vec<Run> = Vec::new();
+    for &clients in &CLIENTS {
+        runs.push(run("ada", Some(Tag::protein()), clients, 64));
+    }
+    for &clients in &CLIENTS {
+        runs.push(run("baseline", None, clients, 64));
+    }
+    // Starved queue (1 waiter) under the biggest herd: typed shedding.
+    runs.push(run("baseline/shed", None, 8, 1));
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                r.clients.to_string(),
+                r.ok.to_string(),
+                r.shed.to_string(),
+                format!("{:.1}", r.wall_s * 1e3),
+                format!("{:.1}", r.ok as f64 / r.wall_s),
+                format!("{:.1}", r.p50_ms),
+                format!("{:.1}", r.p99_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &format!(
+                "Measured contention — {} reqs/client (GPCR, 200 frames × {} atoms, {} core(s), 4 query slots)",
+                REQS_PER_CLIENT,
+                w.system.len(),
+                cores
+            ),
+            &["mode", "clients", "ok", "shed", "wall (ms)", "req/s", "p50 (ms)", "p99 (ms)"],
+            &rows
+        )
+    );
+
+    let run_json = |r: &Run| {
+        let q = r.stats.query;
+        Value::obj(vec![
+            ("mode", Value::str(r.mode)),
+            ("clients", Value::num_u(r.clients as u64)),
+            (
+                "requests",
+                Value::num_u((r.clients * REQS_PER_CLIENT) as u64),
+            ),
+            ("ok", Value::num_u(r.ok)),
+            ("shed", Value::num_u(r.shed)),
+            ("wall_s", Value::Num(r.wall_s)),
+            ("throughput_rps", Value::Num(r.ok as f64 / r.wall_s)),
+            ("p50_ms", Value::Num(r.p50_ms)),
+            ("p99_ms", Value::Num(r.p99_ms)),
+            (
+                "admission",
+                Value::obj(vec![
+                    ("queue_hwm", Value::num_u(q.queue_hwm as u64)),
+                    ("submitted", Value::num_u(q.counters.submitted)),
+                    ("admitted", Value::num_u(q.counters.admitted)),
+                    ("rejected", Value::num_u(q.counters.rejected)),
+                    ("expired", Value::num_u(q.counters.expired)),
+                ]),
+            ),
+        ])
+    };
+    // Cumulative admission-wait distribution across the whole sweep,
+    // from the front-end's global registry histograms.
+    let wait_json = if ada_telemetry::enabled() {
+        ada_telemetry::global()
+            .histogram("frontend.wait_ns.query")
+            .snapshot()
+            .to_json()
+    } else {
+        Value::Null
+    };
+    let json = Value::obj(vec![
+        (
+            "workload",
+            Value::obj(vec![
+                ("natoms", Value::num_u(w.system.len() as u64)),
+                ("nframes", Value::num_u(w.trajectory.len() as u64)),
+                ("raw_bytes", Value::num_u(w.trajectory.nbytes() as u64)),
+            ]),
+        ),
+        ("cores", Value::num_u(cores as u64)),
+        ("reqs_per_client", Value::num_u(REQS_PER_CLIENT as u64)),
+        ("runs", Value::Arr(runs.iter().map(run_json).collect())),
+        ("wait_ns_query", wait_json),
+    ]);
+    std::fs::write("BENCH_contention.json", json.to_vec()).expect("write BENCH_contention.json");
+    println!("  wrote BENCH_contention.json\n");
 }
 
 /// `repro profile-query` — answer "is index, read, decode, or reassembly

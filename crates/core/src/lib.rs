@@ -112,6 +112,25 @@ pub enum AdaError {
     /// join failed). Queries and ingests surface this as a structured
     /// error instead of poisoning channels and hanging the pipeline.
     Internal(String),
+    /// The front-end admission queue for the request's class is full; the
+    /// request was shed instead of queueing unboundedly (the Fig. 9
+    /// contention regime). Clients should back off and retry.
+    Overloaded {
+        /// Requests already waiting in the class queue when this one
+        /// arrived.
+        queue_depth: usize,
+        /// Suggested back-off before retrying, estimated from the mean
+        /// observed service time and the current queue depth.
+        retry_after: std::time::Duration,
+    },
+    /// The request was admitted but its deadline elapsed while it waited
+    /// in the admission queue; it was dropped before touching storage.
+    DeadlineExceeded {
+        /// How long the request actually waited in the queue.
+        waited: std::time::Duration,
+        /// The deadline the client attached to the request.
+        deadline: std::time::Duration,
+    },
 }
 
 /// Convert a worker-thread panic payload into a structured [`AdaError`]
@@ -171,6 +190,19 @@ impl std::fmt::Display for AdaError {
                 write!(f, "'{}' was not generated by a target application", p)
             }
             AdaError::Internal(m) => write!(f, "internal error: {}", m),
+            AdaError::Overloaded {
+                queue_depth,
+                retry_after,
+            } => write!(
+                f,
+                "overloaded: {} requests queued, retry after {:?}",
+                queue_depth, retry_after
+            ),
+            AdaError::DeadlineExceeded { waited, deadline } => write!(
+                f,
+                "deadline exceeded: waited {:?} in the admission queue, deadline was {:?}",
+                waited, deadline
+            ),
         }
     }
 }
@@ -192,6 +224,8 @@ impl AdaError {
             AdaError::AtomMismatch { .. } => "atom_mismatch",
             AdaError::NotTargetApplication(_) => "not_target_application",
             AdaError::Internal(_) => "internal",
+            AdaError::Overloaded { .. } => "overloaded",
+            AdaError::DeadlineExceeded { .. } => "deadline_exceeded",
         }
     }
 }
@@ -209,7 +243,9 @@ impl std::error::Error for AdaError {
             | AdaError::UnknownDataset(_)
             | AdaError::AtomMismatch { .. }
             | AdaError::NotTargetApplication(_)
-            | AdaError::Internal(_) => None,
+            | AdaError::Internal(_)
+            | AdaError::Overloaded { .. }
+            | AdaError::DeadlineExceeded { .. } => None,
         }
     }
 }
@@ -239,6 +275,14 @@ mod error_tests {
             AdaError::AtomMismatch { pdb: 3, xtc: 4 },
             AdaError::NotTargetApplication("out.csv".into()),
             AdaError::Internal("worker panicked: boom".into()),
+            AdaError::Overloaded {
+                queue_depth: 9,
+                retry_after: std::time::Duration::from_millis(3),
+            },
+            AdaError::DeadlineExceeded {
+                waited: std::time::Duration::from_millis(12),
+                deadline: std::time::Duration::from_millis(10),
+            },
         ]
     }
 
@@ -268,7 +312,9 @@ mod error_tests {
                 "unknown_dataset",
                 "atom_mismatch",
                 "not_target_application",
-                "internal"
+                "internal",
+                "overloaded",
+                "deadline_exceeded"
             ]
         );
     }

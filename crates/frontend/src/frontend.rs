@@ -1,0 +1,452 @@
+//! The threaded front-end: worker pools per class over a shared [`Ada`],
+//! driven by the deterministic [`SchedulerCore`].
+//!
+//! ## Concurrency shape
+//!
+//! All scheduling state lives in one `parking_lot::Mutex<SchedulerCore>`;
+//! workers are woken through bounded *token* channels (one unit token per
+//! admitted request, buffer sized `queue + slots` so a send never blocks).
+//! Tokens are interchangeable — FIFO order comes from the core's queue,
+//! not from token arrival order — which keeps admission (under the lock)
+//! and wake-up (after the lock) free of ordering races. The vendored
+//! `parking_lot` has no `Condvar`, and the workspace lint bans unbounded
+//! channels, so this token design is also the only shape that satisfies
+//! both constraints.
+//!
+//! A client blocks on a rendezvous reply channel; it never holds the
+//! scheduler lock while waiting, and workers never hold it while touching
+//! storage, so the lock guards only O(1) queue operations.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ada_core::{Ada, AdaError, IngestInput, IngestReport, QueryReport};
+use ada_mdmodel::Tag;
+use ada_telemetry::{Counter, Gauge, Histogram};
+use parking_lot::Mutex;
+
+use crate::config::FrontendConfig;
+use crate::request::{Class, Reply, Request};
+use crate::scheduler::{Popped, SchedulerCore};
+use crate::stats::{ClassStats, FrontendStats};
+
+/// One admitted request plus the channel its client is blocked on.
+#[derive(Debug)]
+struct Job {
+    client: String,
+    request: Request,
+    reply: SyncSender<Result<Reply, AdaError>>,
+}
+
+/// Global-registry handles, registered once at construction so every
+/// admission metric appears in snapshots even while still zero.
+struct Metrics {
+    queue: [Arc<Gauge>; 2],
+    wait: [Arc<Histogram>; 2],
+    accepted: [Arc<Counter>; 2],
+    rejected: [Arc<Counter>; 2],
+    deadline: [Arc<Counter>; 2],
+}
+
+impl Metrics {
+    fn register() -> Metrics {
+        let reg = ada_telemetry::global();
+        let per_class = |what: &str| {
+            [Class::Ingest, Class::Query]
+                .map(|c| reg.counter(&format!("frontend.{}.{}", c.name(), what)))
+        };
+        Metrics {
+            queue: [Class::Ingest, Class::Query]
+                .map(|c| reg.gauge(&format!("frontend.queue.{}", c.name()))),
+            wait: [Class::Ingest, Class::Query]
+                .map(|c| reg.histogram(&format!("frontend.wait_ns.{}", c.name()))),
+            accepted: per_class("accepted"),
+            rejected: per_class("rejected"),
+            deadline: per_class("deadline_exceeded"),
+        }
+    }
+
+    fn client_counter(client: &str, what: &str) -> Arc<Counter> {
+        ada_telemetry::global().counter(&format!("frontend.client.{}.{}", client, what))
+    }
+}
+
+struct Shared {
+    ada: Arc<Ada>,
+    core: Mutex<SchedulerCore<Job>>,
+    start: Instant,
+    metrics: Option<Metrics>,
+    default_deadline: Option<Duration>,
+}
+
+impl Shared {
+    /// Monotonic nanoseconds since the front-end was built — the queue's
+    /// clock (enqueue stamps, deadline expiry).
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn note_enqueue(&self, class: Class) {
+        if let Some(m) = &self.metrics {
+            m.queue[class.idx()].inc();
+        }
+    }
+
+    fn note_dequeue(&self, class: Class, waited_ns: u64) {
+        if let Some(m) = &self.metrics {
+            m.queue[class.idx()].dec();
+            m.wait[class.idx()].record(waited_ns);
+        }
+    }
+
+    fn note_accepted(&self, class: Class, client: &str) {
+        if let Some(m) = &self.metrics {
+            m.accepted[class.idx()].inc();
+            Metrics::client_counter(client, "accepted").inc();
+        }
+    }
+
+    fn note_rejected(&self, class: Class, client: &str) {
+        if let Some(m) = &self.metrics {
+            m.rejected[class.idx()].inc();
+            Metrics::client_counter(client, "rejected").inc();
+        }
+    }
+
+    fn note_deadline_exceeded(&self, class: Class, client: &str) {
+        if let Some(m) = &self.metrics {
+            m.deadline[class.idx()].inc();
+            Metrics::client_counter(client, "deadline_exceeded").inc();
+        }
+    }
+}
+
+/// Multi-client admission front-end over one shared [`Ada`].
+///
+/// Owns `ingest_slots + query_slots` worker threads; requests are
+/// submitted from any number of client threads via [`Frontend::submit`]
+/// (or the typed [`Frontend::ingest`] / [`Frontend::query`] wrappers),
+/// which block until the request completes, is shed with
+/// [`AdaError::Overloaded`], or dies in the queue with
+/// [`AdaError::DeadlineExceeded`]. Dropping the front-end drains every
+/// admitted request before the workers exit, so no client is left hanging.
+pub struct Frontend {
+    shared: Arc<Shared>,
+    tokens: [Option<SyncSender<()>>; 2],
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Frontend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("Frontend")
+            .field("workers", &self.workers.len())
+            .field("stats", &stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Frontend {
+    /// Spawn the per-class worker pools over `ada`.
+    pub fn new(ada: Arc<Ada>, config: FrontendConfig) -> Frontend {
+        let config = config.normalized();
+        let retry_floor = config.retry_after_floor.as_nanos().min(u64::MAX as u128) as u64;
+        let shared = Arc::new(Shared {
+            ada,
+            core: Mutex::new(SchedulerCore::new(
+                (config.ingest_slots, config.ingest_queue),
+                (config.query_slots, config.query_queue),
+                retry_floor,
+            )),
+            start: Instant::now(),
+            metrics: ada_telemetry::enabled().then(Metrics::register),
+            default_deadline: config.default_deadline,
+        });
+        let mut tokens = [None, None];
+        let mut workers = Vec::with_capacity(config.ingest_slots + config.query_slots);
+        for class in Class::ALL {
+            let (slots, cap) = match class {
+                Class::Ingest => (config.ingest_slots, config.ingest_queue),
+                Class::Query => (config.query_slots, config.query_queue),
+            };
+            // Tokens outstanding never exceed the number of queued jobs
+            // (send happens after a successful admit, recv before the
+            // pop), so `cap + slots` of buffer means a send cannot block.
+            let (tx, rx) = sync_channel::<()>(cap + slots);
+            let rx = Arc::new(Mutex::new(rx));
+            for _ in 0..slots {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                workers.push(std::thread::spawn(move || worker_loop(&shared, class, &rx)));
+            }
+            tokens[class.idx()] = Some(tx);
+        }
+        Frontend {
+            shared,
+            tokens,
+            workers,
+        }
+    }
+
+    /// Submit a request and block until it resolves. `deadline` bounds
+    /// only the queue wait (a request that started executing runs to
+    /// completion); `None` waits indefinitely.
+    pub fn submit(
+        &self,
+        client: &str,
+        request: Request,
+        deadline: Option<Duration>,
+    ) -> Result<Reply, AdaError> {
+        let class = request.class();
+        let (reply_tx, reply_rx) = sync_channel::<Result<Reply, AdaError>>(1);
+        let job = Job {
+            client: client.to_string(),
+            request,
+            reply: reply_tx,
+        };
+        let now = self.shared.now_ns();
+        let deadline_ns = deadline.map(|d| d.as_nanos().min(u64::MAX as u128) as u64);
+        let admitted = self.shared.core.lock().submit(class, job, now, deadline_ns);
+        match admitted {
+            Err(rej) => {
+                self.shared.note_rejected(class, client);
+                Err(AdaError::Overloaded {
+                    queue_depth: rej.queue_depth,
+                    retry_after: Duration::from_nanos(rej.retry_after_ns),
+                })
+            }
+            Ok(_id) => {
+                self.shared.note_enqueue(class);
+                if let Some(tx) = &self.tokens[class.idx()] {
+                    if tx.send(()).is_err() {
+                        return Err(AdaError::Internal(
+                            "frontend worker pool is gone".to_string(),
+                        ));
+                    }
+                }
+                reply_rx.recv().map_err(|_| {
+                    AdaError::Internal("frontend worker dropped the reply channel".to_string())
+                })?
+            }
+        }
+    }
+
+    /// Whole-buffer ingest through admission control, with the
+    /// configured default deadline.
+    pub fn ingest(
+        &self,
+        client: &str,
+        dataset: &str,
+        input: IngestInput,
+    ) -> Result<IngestReport, AdaError> {
+        let request = Request::Ingest {
+            dataset: dataset.to_string(),
+            input,
+        };
+        self.submit(client, request, self.shared.default_deadline)?
+            .into_ingest()
+            .ok_or_else(|| AdaError::Internal("ingest reply carried a query report".to_string()))
+    }
+
+    /// Streaming ingest through admission control.
+    pub fn ingest_streaming(
+        &self,
+        client: &str,
+        dataset: &str,
+        pdb_text: &str,
+        xtc_bytes: &[u8],
+        batch_frames: usize,
+    ) -> Result<IngestReport, AdaError> {
+        let request = Request::IngestStreaming {
+            dataset: dataset.to_string(),
+            pdb_text: pdb_text.to_string(),
+            xtc_bytes: xtc_bytes.to_vec(),
+            batch_frames,
+        };
+        self.submit(client, request, self.shared.default_deadline)?
+            .into_ingest()
+            .ok_or_else(|| AdaError::Internal("ingest reply carried a query report".to_string()))
+    }
+
+    /// Tag-aware (or full-frame) query through admission control.
+    pub fn query(
+        &self,
+        client: &str,
+        dataset: &str,
+        tag: Option<&Tag>,
+    ) -> Result<QueryReport, AdaError> {
+        let request = Request::Query {
+            dataset: dataset.to_string(),
+            tag: tag.cloned(),
+        };
+        self.submit(client, request, self.shared.default_deadline)?
+            .into_query()
+            .ok_or_else(|| AdaError::Internal("query reply carried an ingest report".to_string()))
+    }
+
+    /// Point-in-time admission statistics (process-local, not the global
+    /// telemetry registry — safe for concurrent tests in one binary).
+    pub fn stats(&self) -> FrontendStats {
+        let core = self.shared.core.lock();
+        let class_stats = |class: Class| ClassStats {
+            counters: core.counters(class),
+            queue_depth: core.queue_depth(class),
+            queue_hwm: core.queue_hwm(class),
+            running: core.running(class),
+            slots: core.slots(class),
+        };
+        FrontendStats {
+            ingest: class_stats(Class::Ingest),
+            query: class_stats(Class::Query),
+        }
+    }
+
+    /// The shared middleware this front-end guards.
+    pub fn ada(&self) -> &Ada {
+        &self.shared.ada
+    }
+}
+
+impl Drop for Frontend {
+    fn drop(&mut self) {
+        // Dropping the token senders lets workers drain the remaining
+        // buffered tokens (each one an admitted request) and then exit on
+        // the channel hangup, so no client blocks forever.
+        for tx in &mut self.tokens {
+            *tx = None;
+        }
+        for handle in self.workers.drain(..) {
+            // A panicked worker already failed its own client via the
+            // dropped reply channel; teardown has nothing left to fix.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, class: Class, rx: &Mutex<Receiver<()>>) {
+    loop {
+        // Holding the receiver lock while blocked is fine: the other
+        // workers of this class are either executing or waiting their
+        // turn on this same lock.
+        if rx.lock().recv().is_err() {
+            return; // front-end dropped and the queue is drained
+        }
+        let now = shared.now_ns();
+        let popped = shared.core.lock().pop(class, now);
+        match popped {
+            // Unreachable by construction (tokens are 1:1 with queued
+            // jobs and worker count equals the slot limit), but a lost
+            // token must not kill the worker.
+            None => continue,
+            Some(Popped::Expired {
+                job,
+                waited_ns,
+                deadline_ns,
+                ..
+            }) => {
+                shared.note_dequeue(class, waited_ns);
+                shared.note_deadline_exceeded(class, &job.client);
+                let _ = job.reply.send(Err(AdaError::DeadlineExceeded {
+                    waited: Duration::from_nanos(waited_ns),
+                    deadline: Duration::from_nanos(deadline_ns),
+                }));
+            }
+            Some(Popped::Start { job, waited_ns, .. }) => {
+                shared.note_dequeue(class, waited_ns);
+                shared.note_accepted(class, &job.client);
+                let t = Instant::now();
+                let res = job.request.execute(&shared.ada);
+                let service_ns = t.elapsed().as_nanos() as u64;
+                // Release the slot before replying so a client that saw
+                // its request finish also sees balanced stats.
+                shared.core.lock().complete(class, service_ns);
+                let _ = job.reply.send(res);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ada_core::AdaConfig;
+    use ada_plfs::ContainerSet;
+    use ada_simfs::{LocalFs, SimFileSystem};
+
+    fn make_ada() -> Arc<Ada> {
+        let ssd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_nvme());
+        let hdd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_hdd());
+        let cs = Arc::new(ContainerSet::new(vec![
+            ("ssd".into(), ssd.clone()),
+            ("hdd".into(), hdd),
+        ]));
+        Arc::new(Ada::new(AdaConfig::paper_prototype("ssd", "hdd"), cs, ssd))
+    }
+
+    fn real_input(natoms: usize, nframes: usize) -> IngestInput {
+        let w = ada_workload::gpcr_workload(natoms, nframes, 77);
+        IngestInput::Real {
+            pdb_text: ada_mdformats::write_pdb(&w.system),
+            xtc_bytes: ada_mdformats::xtc::write_xtc(
+                &w.trajectory,
+                ada_mdformats::xtc::DEFAULT_PRECISION,
+            )
+            .unwrap(),
+        }
+    }
+
+    #[test]
+    fn frontend_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Frontend>();
+        assert_send_sync::<Ada>();
+    }
+
+    #[test]
+    fn single_client_roundtrip() {
+        let fe = Frontend::new(make_ada(), FrontendConfig::default());
+        fe.ingest("c0", "bar", real_input(300, 2)).unwrap();
+        let q = fe.query("c0", "bar", Some(&Tag::protein())).unwrap();
+        match q.data {
+            ada_core::RetrievedData::Real(traj) => assert_eq!(traj.len(), 2),
+            other => panic!("expected real data, got {:?}", other),
+        }
+        let s = fe.stats();
+        assert!(s.is_quiescent(), "stats must balance: {:?}", s);
+        assert_eq!(s.ingest.counters.completed, 1);
+        assert_eq!(s.query.counters.completed, 1);
+    }
+
+    #[test]
+    fn unknown_dataset_error_passes_through_typed() {
+        let fe = Frontend::new(make_ada(), FrontendConfig::default());
+        let err = fe.query("c0", "nope", None).unwrap_err();
+        assert_eq!(err.kind(), "unknown_dataset");
+    }
+
+    #[test]
+    fn zero_deadline_expires_in_queue() {
+        let fe = Frontend::new(make_ada(), FrontendConfig::default());
+        fe.ingest("c0", "bar", real_input(300, 2)).unwrap();
+        let req = Request::Query {
+            dataset: "bar".into(),
+            tag: None,
+        };
+        // A 0 ns deadline is always in the past by the time a worker
+        // picks the request up.
+        let err = fe
+            .submit("c0", req, Some(Duration::from_nanos(0)))
+            .unwrap_err();
+        assert_eq!(err.kind(), "deadline_exceeded");
+        let s = fe.stats();
+        assert_eq!(s.query.counters.expired, 1);
+        assert!(s.is_quiescent());
+    }
+
+    #[test]
+    fn drop_with_empty_queue_joins_workers() {
+        let fe = Frontend::new(make_ada(), FrontendConfig::default());
+        drop(fe); // must not hang
+    }
+}

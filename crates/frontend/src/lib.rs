@@ -1,0 +1,42 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![deny(missing_docs)]
+
+//! # ada-frontend — multi-client admission control over a shared `Ada`
+//!
+//! The paper's Fig. 9 measures ADA under *concurrent* VMD clients, where
+//! the storage node's fixed CPU and bandwidth are the bottleneck. The
+//! core [`Ada`](ada_core::Ada) object is already shareable (`&self` with
+//! internal `parking_lot` locks) but unguarded: any number of clients can
+//! pile onto it and the node degrades unboundedly. This crate adds the
+//! arbitration layer:
+//!
+//! * [`FrontendConfig`] — per-class (ingest vs. query) concurrency slots
+//!   and bounded queue capacities;
+//! * [`SchedulerCore`] — a deterministic, lock-free-of-time state machine
+//!   implementing FIFO-within-class scheduling, deadline expiry and typed
+//!   load shedding (`AdaError::Overloaded { queue_depth, retry_after }`);
+//!   all timestamps are supplied by the caller, so the proptest suite can
+//!   replay arbitrary interleavings exactly;
+//! * [`Frontend`] — the threaded layer: one worker pool per class woken
+//!   by unit tokens on bounded channels, clients blocking on rendezvous
+//!   reply channels, full `ada-telemetry` integration (queue-depth HWM
+//!   gauges, admission-wait histograms, per-client accepted / rejected /
+//!   deadline-exceeded counters).
+//!
+//! Shedding is graceful: a rejected request carries the current queue
+//! depth and a retry-after hint derived from the observed mean service
+//! time, so clients can back off proportionally to the overload instead
+//! of retrying blindly.
+
+pub mod config;
+pub mod frontend;
+pub mod request;
+pub mod scheduler;
+pub mod stats;
+
+pub use config::FrontendConfig;
+pub use frontend::Frontend;
+pub use request::{Class, Reply, Request};
+pub use scheduler::{ClassCounters, Popped, Rejection, SchedulerCore};
+pub use stats::{ClassStats, FrontendStats};

@@ -1,0 +1,148 @@
+//! The request/reply vocabulary clients speak to the front-end.
+
+use ada_core::{Ada, AdaError, IngestInput, IngestReport, QueryReport};
+use ada_mdmodel::Tag;
+
+/// Admission class a request competes in. Ingest and query contend for
+/// different storage-node resources (write bandwidth + split CPU vs. read
+/// bandwidth + decode CPU), so each class has its own slots and queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Class {
+    /// Write path: `ingest` / `ingest_streaming`.
+    Ingest,
+    /// Read path: `query`.
+    Query,
+}
+
+impl Class {
+    /// Both classes, in stable order (used to size per-class state).
+    pub const ALL: [Class; 2] = [Class::Ingest, Class::Query];
+
+    /// Stable lowercase name used in telemetry metric names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Class::Ingest => "ingest",
+            Class::Query => "query",
+        }
+    }
+
+    pub(crate) fn idx(self) -> usize {
+        match self {
+            Class::Ingest => 0,
+            Class::Query => 1,
+        }
+    }
+}
+
+/// One client request, self-contained so a worker thread can execute it
+/// against the shared [`Ada`] without further input from the client.
+#[derive(Debug)]
+pub enum Request {
+    /// Whole-buffer ingest of a `(pdb, xtc)` pair or a synthetic spec.
+    Ingest {
+        /// Logical dataset name to create.
+        dataset: String,
+        /// The data to ingest.
+        input: IngestInput,
+    },
+    /// Streaming (batched, memory-bounded) ingest of real bytes.
+    IngestStreaming {
+        /// Logical dataset name to create.
+        dataset: String,
+        /// `.pdb` contents.
+        pdb_text: String,
+        /// `.xtc` contents.
+        xtc_bytes: Vec<u8>,
+        /// Frames per pipeline batch.
+        batch_frames: usize,
+    },
+    /// Tag-aware (or full-frame, when `tag` is `None`) retrieval.
+    Query {
+        /// Logical dataset to read.
+        dataset: String,
+        /// Active-data tag, or `None` for the full-frame baseline path.
+        tag: Option<Tag>,
+    },
+}
+
+impl Request {
+    /// Which admission class this request competes in.
+    pub fn class(&self) -> Class {
+        match self {
+            Request::Ingest { .. } | Request::IngestStreaming { .. } => Class::Ingest,
+            Request::Query { .. } => Class::Query,
+        }
+    }
+
+    /// Execute against the shared middleware. Runs on a worker thread
+    /// after the scheduler granted a slot.
+    pub(crate) fn execute(self, ada: &Ada) -> Result<Reply, AdaError> {
+        match self {
+            Request::Ingest { dataset, input } => ada.ingest(&dataset, input).map(Reply::Ingest),
+            Request::IngestStreaming {
+                dataset,
+                pdb_text,
+                xtc_bytes,
+                batch_frames,
+            } => ada
+                .ingest_streaming(&dataset, &pdb_text, &xtc_bytes, batch_frames)
+                .map(Reply::Ingest),
+            Request::Query { dataset, tag } => ada.query(&dataset, tag.as_ref()).map(Reply::Query),
+        }
+    }
+}
+
+/// Successful response to a [`Request`].
+#[derive(Debug)]
+pub enum Reply {
+    /// Report from either ingest flavor.
+    Ingest(IngestReport),
+    /// Report (with retrieved data) from a query.
+    Query(QueryReport),
+}
+
+impl Reply {
+    /// The query report, if this reply came from a query.
+    pub fn into_query(self) -> Option<QueryReport> {
+        match self {
+            Reply::Query(r) => Some(r),
+            Reply::Ingest(_) => None,
+        }
+    }
+
+    /// The ingest report, if this reply came from an ingest.
+    pub fn into_ingest(self) -> Option<IngestReport> {
+        match self {
+            Reply::Ingest(r) => Some(r),
+            Reply::Query(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_names_are_stable() {
+        assert_eq!(Class::Ingest.name(), "ingest");
+        assert_eq!(Class::Query.name(), "query");
+        assert_eq!(Class::ALL.len(), 2);
+    }
+
+    #[test]
+    fn requests_map_to_classes() {
+        let q = Request::Query {
+            dataset: "d".into(),
+            tag: None,
+        };
+        assert_eq!(q.class(), Class::Query);
+        let i = Request::IngestStreaming {
+            dataset: "d".into(),
+            pdb_text: String::new(),
+            xtc_bytes: Vec::new(),
+            batch_frames: 4,
+        };
+        assert_eq!(i.class(), Class::Ingest);
+    }
+}

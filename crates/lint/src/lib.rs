@@ -227,7 +227,11 @@ pub fn run_workspace(root: &Path) -> Result<LintReport, LintError> {
                     diagnostics.push(d);
                 }
             }
-            if crate_name == "core" {
+            // The error enum and its kind() map live in core today; the
+            // frontend (which adds admission-control variants' call
+            // sites) is scanned too so the pass keeps working if the
+            // enum or the impl ever migrates there.
+            if crate_name == "core" || crate_name == "frontend" {
                 core_files.push((rel, tokens));
             }
             files_scanned += 1;
