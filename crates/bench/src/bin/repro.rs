@@ -87,6 +87,7 @@ fn main() {
             "bench-query" => bench_query(),
             "profile-query" => profile_query(),
             "bench-contention" => bench_contention(),
+            "bench-sampling" => bench_sampling(),
             "lint" => run_lint(lint_json),
             other => eprintln!("unknown item '{}'", other),
         }
@@ -1230,6 +1231,240 @@ fn bench_contention() {
     ]);
     std::fs::write("BENCH_contention.json", json.to_vec()).expect("write BENCH_contention.json");
     println!("  wrote BENCH_contention.json\n");
+}
+
+/// `repro bench-sampling` — the ML-sampling read workload: shuffled
+/// epochs of strided `query_range` windows over both tags, swept across
+/// decoded-dropping cache budgets (off / partial / full hot set).
+/// Prints hit rate, p50/p99 sample latency and per-epoch decoded bytes,
+/// and writes BENCH_sampling.json including the headline ratio: bytes
+/// decoded per steady-state epoch, cache-off vs full-budget.
+fn bench_sampling() {
+    use ada_core::{Ada, AdaConfig, IngestInput};
+    use ada_json::Value;
+    use ada_mdformats::write_pdb;
+    use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
+    use ada_plfs::ContainerSet;
+    use ada_simfs::{LocalFs, SimFileSystem};
+    use ada_workload::{shuffled_epochs, SamplingConfig};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const MIB: u64 = 1024 * 1024;
+    // off / about half the hot set / comfortably the whole hot set
+    // (~15 MiB decoded for 512 frames × 2,000 atoms across both tags;
+    // each 64-frame dropping costs ~0.9 MiB, so the partial budget must
+    // leave room per shard for at least one payload).
+    const BUDGETS: [u64; 3] = [0, 8 * MIB, 64 * MIB];
+
+    let w = ada_workload::gpcr_workload(2_000, 512, 7);
+    let pdb_text = write_pdb(&w.system);
+    let xtc_bytes = write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap();
+
+    let sampling = SamplingConfig {
+        nframes: w.trajectory.len(),
+        window: 16,
+        stride: 2,
+        epochs: 4,
+        tags: vec!["p".to_string(), "m".to_string()],
+        seed: 0xADA,
+    };
+    let epochs = shuffled_epochs(&sampling);
+
+    let fresh_ada = |budget: u64| -> Ada {
+        let ssd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_nvme());
+        let hdd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_hdd());
+        let containers = Arc::new(ContainerSet::new(vec![
+            ("ssd".into(), ssd.clone()),
+            ("hdd".into(), hdd),
+        ]));
+        let config = AdaConfig {
+            frames_per_dropping: 64, // 512 frames → 8 droppings per tag
+            cache: ada_cache::CacheConfig {
+                capacity_bytes: budget,
+                shards: 4,
+                min_heat: 2,
+                readahead: 0,
+            },
+            ..AdaConfig::paper_prototype("ssd", "hdd")
+        };
+        let ada = Ada::new(config, containers, ssd);
+        ada.ingest(
+            "bench",
+            IngestInput::Real {
+                pdb_text: pdb_text.clone(),
+                xtc_bytes: xtc_bytes.clone(),
+            },
+        )
+        .unwrap();
+        ada
+    };
+
+    struct Sweep {
+        budget: u64,
+        stats: ada_cache::CacheStats,
+        epoch_decoded: Vec<u64>,
+        p50_ms: f64,
+        p99_ms: f64,
+        wall_s: f64,
+    }
+
+    let sweeps: Vec<Sweep> = BUDGETS
+        .iter()
+        .map(|&budget| {
+            let ada = fresh_ada(budget);
+            let latencies = ada_telemetry::Histogram::new();
+            let mut epoch_decoded = Vec::new();
+            let mut decoded_before = ada.cache_stats().bytes_decoded;
+            let t0 = Instant::now();
+            for epoch in &epochs {
+                for s in epoch {
+                    let tag = Tag::new(s.tag.clone());
+                    let t = Instant::now();
+                    ada.query_range("bench", &tag, s.start..s.end, s.stride)
+                        .unwrap();
+                    latencies.record(t.elapsed().as_nanos() as u64);
+                }
+                let decoded_now = ada.cache_stats().bytes_decoded;
+                epoch_decoded.push(decoded_now - decoded_before);
+                decoded_before = decoded_now;
+            }
+            let wall_s = t0.elapsed().as_secs_f64();
+            let snap = latencies.snapshot();
+            Sweep {
+                budget,
+                stats: ada.cache_stats(),
+                epoch_decoded,
+                p50_ms: snap.p50 / 1e6,
+                p99_ms: snap.p99 / 1e6,
+                wall_s,
+            }
+        })
+        .collect();
+
+    let samples_per_epoch = epochs.first().map_or(0, Vec::len);
+    let rows: Vec<Vec<String>> = sweeps
+        .iter()
+        .map(|s| {
+            vec![
+                if s.budget == 0 {
+                    "off".to_string()
+                } else {
+                    format!("{} MiB", s.budget / MIB)
+                },
+                format!("{:.1}%", s.stats.hit_rate() * 100.0),
+                s.stats.evictions.to_string(),
+                format!("{:.3}", s.p50_ms),
+                format!("{:.3}", s.p99_ms),
+                s.epoch_decoded
+                    .iter()
+                    .map(|b| format!("{:.1}", *b as f64 / MIB as f64))
+                    .collect::<Vec<_>>()
+                    .join(" / "),
+                format!("{:.1}", s.wall_s * 1e3),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &format!(
+                "ML-sampling sweep — {} shuffled epochs × {} samples (window {}, stride {})",
+                sampling.epochs, samples_per_epoch, sampling.window, sampling.stride
+            ),
+            &[
+                "cache budget",
+                "hit rate",
+                "evict",
+                "p50 (ms)",
+                "p99 (ms)",
+                "decoded MiB/epoch",
+                "wall (ms)"
+            ],
+            &rows
+        )
+    );
+
+    // Headline: steady-state (epochs after the first) decode volume,
+    // cache-off vs the hot-set-covering budget.
+    let steady = |s: &Sweep| s.epoch_decoded.iter().skip(1).sum::<u64>();
+    let off_bytes = steady(&sweeps[0]);
+    let full_bytes = steady(sweeps.last().expect("at least one sweep"));
+    let reduction = off_bytes as f64 / full_bytes.max(1) as f64;
+    println!(
+        "  steady-state decode: cache-off {:.1} MiB vs full-budget {:.1} MiB per {} epochs — {} less decoding (target >= 5x)\n",
+        off_bytes as f64 / MIB as f64,
+        full_bytes as f64 / MIB as f64,
+        sampling.epochs - 1,
+        if full_bytes == 0 {
+            "fully amortized (0 bytes)".to_string()
+        } else {
+            format!("{:.0}x", reduction)
+        }
+    );
+
+    let sweep_json = |s: &Sweep| {
+        Value::obj(vec![
+            ("budget_bytes", Value::num_u(s.budget)),
+            ("hit_rate", Value::Num(s.stats.hit_rate())),
+            ("hits", Value::num_u(s.stats.hits)),
+            ("misses", Value::num_u(s.stats.misses)),
+            ("bypasses", Value::num_u(s.stats.bypasses)),
+            ("evictions", Value::num_u(s.stats.evictions)),
+            ("resident_hwm_bytes", Value::num_u(s.stats.resident_hwm)),
+            ("bytes_decoded", Value::num_u(s.stats.bytes_decoded)),
+            (
+                "bytes_served_from_cache",
+                Value::num_u(s.stats.bytes_served_from_cache),
+            ),
+            (
+                "epoch_bytes_decoded",
+                Value::Arr(s.epoch_decoded.iter().map(|&b| Value::num_u(b)).collect()),
+            ),
+            ("p50_ms", Value::Num(s.p50_ms)),
+            ("p99_ms", Value::Num(s.p99_ms)),
+            ("wall_s", Value::Num(s.wall_s)),
+        ])
+    };
+    let json = Value::obj(vec![
+        (
+            "workload",
+            Value::obj(vec![
+                ("natoms", Value::num_u(w.system.len() as u64)),
+                ("nframes", Value::num_u(w.trajectory.len() as u64)),
+                ("raw_bytes", Value::num_u(w.trajectory.nbytes() as u64)),
+                ("frames_per_dropping", Value::num_u(64)),
+            ]),
+        ),
+        (
+            "schedule",
+            Value::obj(vec![
+                ("window", Value::num_u(sampling.window as u64)),
+                ("stride", Value::num_u(sampling.stride as u64)),
+                ("epochs", Value::num_u(sampling.epochs as u64)),
+                ("samples_per_epoch", Value::num_u(samples_per_epoch as u64)),
+                (
+                    "tags",
+                    Value::Arr(sampling.tags.iter().map(Value::str).collect()),
+                ),
+                ("seed", Value::num_u(sampling.seed)),
+            ]),
+        ),
+        (
+            "sweeps",
+            Value::Arr(sweeps.iter().map(sweep_json).collect()),
+        ),
+        (
+            "steady_state_reduction",
+            Value::obj(vec![
+                ("cache_off_bytes", Value::num_u(off_bytes)),
+                ("full_budget_bytes", Value::num_u(full_bytes)),
+                ("factor", Value::Num(reduction)),
+            ]),
+        ),
+    ]);
+    std::fs::write("BENCH_sampling.json", json.to_vec()).expect("write BENCH_sampling.json");
+    println!("  wrote BENCH_sampling.json\n");
 }
 
 /// `repro profile-query` — answer "is index, read, decode, or reassembly

@@ -58,7 +58,7 @@ pub use preprocess::{
 };
 pub use profile::StageProfile;
 pub use synth::SyntheticDataset;
-pub use tiering::{MigrationPlan, Rebalancer};
+pub use tiering::{heat_snapshot, HeatSnapshot, MigrationPlan, Rebalancer};
 
 use ada_mdformats::FormatError;
 use ada_mdformats::XtcError;
@@ -99,6 +99,18 @@ pub enum AdaError {
     UnknownTag(String),
     /// The logical dataset is unknown.
     UnknownDataset(String),
+    /// A frame-range read asked for frames the dataset does not have, an
+    /// empty window, or a zero stride.
+    InvalidRange {
+        /// First frame requested (inclusive).
+        start: usize,
+        /// End of the requested window (exclusive).
+        end: usize,
+        /// Requested stride.
+        stride: usize,
+        /// Frames the dataset actually has.
+        nframes: usize,
+    },
     /// Atom-count mismatch between structure and trajectory.
     AtomMismatch {
         /// Atoms in the `.pdb`.
@@ -183,6 +195,16 @@ impl std::fmt::Display for AdaError {
             AdaError::Pdb(m) => write!(f, "pdb: {}", m),
             AdaError::UnknownTag(t) => write!(f, "unknown tag '{}'", t),
             AdaError::UnknownDataset(d) => write!(f, "unknown dataset '{}'", d),
+            AdaError::InvalidRange {
+                start,
+                end,
+                stride,
+                nframes,
+            } => write!(
+                f,
+                "invalid frame range [{}, {}) stride {} over {} frames",
+                start, end, stride, nframes
+            ),
             AdaError::AtomMismatch { pdb, xtc } => {
                 write!(f, "atom mismatch: pdb has {}, xtc frames have {}", pdb, xtc)
             }
@@ -221,6 +243,7 @@ impl AdaError {
             AdaError::Pdb(_) => "pdb",
             AdaError::UnknownTag(_) => "unknown_tag",
             AdaError::UnknownDataset(_) => "unknown_dataset",
+            AdaError::InvalidRange { .. } => "invalid_range",
             AdaError::AtomMismatch { .. } => "atom_mismatch",
             AdaError::NotTargetApplication(_) => "not_target_application",
             AdaError::Internal(_) => "internal",
@@ -241,6 +264,7 @@ impl std::error::Error for AdaError {
             | AdaError::Pdb(_)
             | AdaError::UnknownTag(_)
             | AdaError::UnknownDataset(_)
+            | AdaError::InvalidRange { .. }
             | AdaError::AtomMismatch { .. }
             | AdaError::NotTargetApplication(_)
             | AdaError::Internal(_)
@@ -272,6 +296,12 @@ mod error_tests {
             AdaError::Pdb("bad atom line".into()),
             AdaError::UnknownTag("z".into()),
             AdaError::UnknownDataset("d".into()),
+            AdaError::InvalidRange {
+                start: 4,
+                end: 4,
+                stride: 1,
+                nframes: 9,
+            },
             AdaError::AtomMismatch { pdb: 3, xtc: 4 },
             AdaError::NotTargetApplication("out.csv".into()),
             AdaError::Internal("worker panicked: boom".into()),
@@ -310,6 +340,7 @@ mod error_tests {
                 "pdb",
                 "unknown_tag",
                 "unknown_dataset",
+                "invalid_range",
                 "atom_mismatch",
                 "not_target_application",
                 "internal",

@@ -51,11 +51,11 @@ impl Rebalancer {
     /// Plan migrations for `dataset` from its access counts and current
     /// placement.
     pub fn plan(&self, ada: &Ada, dataset: &str) -> Result<MigrationPlan, AdaError> {
-        let counts = ada.access_counts(dataset);
+        let heat = heat_snapshot(ada, dataset);
         let mut moves = Vec::new();
         for record in ada.containers().index(dataset)? {
             let tag = Tag::new(record.tag.clone());
-            let hits = counts.get(&tag).copied().unwrap_or(0);
+            let hits = heat.heat(&tag);
             let want = if hits >= self.hot_threshold {
                 &self.fast_backend
             } else {
@@ -83,6 +83,54 @@ impl Rebalancer {
 
 /// Per-tag access counters for one dataset.
 pub type AccessCounts = BTreeMap<Tag, u64>;
+
+/// A read-only view of one dataset's per-tag access heat, taken at a
+/// point in time. Cache admission and migration planners consume this
+/// instead of reaching into [`Ada`]'s counter internals, so "how hot is
+/// this tag" has one answer everywhere.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeatSnapshot {
+    counts: AccessCounts,
+}
+
+impl HeatSnapshot {
+    /// Access count of `tag` (0 when never queried).
+    pub fn heat(&self, tag: &Tag) -> u64 {
+        self.counts.get(tag).copied().unwrap_or(0)
+    }
+
+    /// Tags with at least one access, hottest first (ties break by tag
+    /// order, so the ranking is deterministic).
+    pub fn hottest(&self) -> Vec<(Tag, u64)> {
+        let mut v: Vec<(Tag, u64)> = self
+            .counts
+            .iter()
+            .filter(|(_, n)| **n > 0)
+            .map(|(t, n)| (t.clone(), *n))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Total accesses across every tag.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// True when the dataset has never been queried.
+    pub fn is_cold(&self) -> bool {
+        self.counts.values().all(|n| *n == 0)
+    }
+}
+
+/// Snapshot the per-tag access heat of `dataset`. Cheap (one clone of the
+/// dataset's counter map under the access lock) and read-only — the
+/// canonical input for cache admission and the [`Rebalancer`].
+pub fn heat_snapshot(ada: &Ada, dataset: &str) -> HeatSnapshot {
+    HeatSnapshot {
+        counts: ada.access_counts(dataset),
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -131,6 +179,29 @@ mod tests {
         let counts = ada.access_counts("bar");
         assert_eq!(counts[&Tag::protein()], 3);
         assert_eq!(counts[&Tag::misc()], 2);
+    }
+
+    #[test]
+    fn heat_snapshot_ranks_tags_and_is_read_only() {
+        let ada = rig();
+        let cold = heat_snapshot(&ada, "bar");
+        assert!(cold.is_cold());
+        assert_eq!(cold.total(), 0);
+        assert!(cold.hottest().is_empty());
+        for _ in 0..3 {
+            ada.query("bar", Some(&Tag::misc())).unwrap();
+        }
+        ada.query("bar", Some(&Tag::protein())).unwrap();
+        let heat = heat_snapshot(&ada, "bar");
+        assert_eq!(heat.heat(&Tag::misc()), 3);
+        assert_eq!(heat.heat(&Tag::protein()), 1);
+        assert_eq!(heat.total(), 4);
+        assert_eq!(heat.hottest(), vec![(Tag::misc(), 3), (Tag::protein(), 1)]);
+        // A snapshot is a point-in-time copy: later queries don't mutate it.
+        ada.query("bar", Some(&Tag::misc())).unwrap();
+        assert_eq!(heat.heat(&Tag::misc()), 3);
+        // Unknown datasets read as cold, not as an error.
+        assert!(heat_snapshot(&ada, "nope").is_cold());
     }
 
     #[test]

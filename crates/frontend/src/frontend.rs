@@ -285,6 +285,28 @@ impl Frontend {
             .ok_or_else(|| AdaError::Internal("query reply carried an ingest report".to_string()))
     }
 
+    /// Strided frame-range query (the ML-sampling read path) through
+    /// admission control; competes in the query class.
+    pub fn query_range(
+        &self,
+        client: &str,
+        dataset: &str,
+        tag: &Tag,
+        window: std::ops::Range<usize>,
+        stride: usize,
+    ) -> Result<QueryReport, AdaError> {
+        let request = Request::QueryRange {
+            dataset: dataset.to_string(),
+            tag: tag.clone(),
+            start: window.start,
+            end: window.end,
+            stride,
+        };
+        self.submit(client, request, self.shared.default_deadline)?
+            .into_query()
+            .ok_or_else(|| AdaError::Internal("query reply carried an ingest report".to_string()))
+    }
+
     /// Point-in-time admission statistics (process-local, not the global
     /// telemetry registry — safe for concurrent tests in one binary).
     pub fn stats(&self) -> FrontendStats {

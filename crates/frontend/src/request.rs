@@ -63,6 +63,20 @@ pub enum Request {
         /// Active-data tag, or `None` for the full-frame baseline path.
         tag: Option<Tag>,
     },
+    /// Strided frame-range retrieval of one tag (the ML-sampling read
+    /// path); served through the decoded-dropping cache when enabled.
+    QueryRange {
+        /// Logical dataset to read.
+        dataset: String,
+        /// Active-data tag the range is drawn from.
+        tag: Tag,
+        /// First frame (inclusive).
+        start: usize,
+        /// End of the window (exclusive).
+        end: usize,
+        /// Keep every `stride`-th frame of the window.
+        stride: usize,
+    },
 }
 
 impl Request {
@@ -70,7 +84,7 @@ impl Request {
     pub fn class(&self) -> Class {
         match self {
             Request::Ingest { .. } | Request::IngestStreaming { .. } => Class::Ingest,
-            Request::Query { .. } => Class::Query,
+            Request::Query { .. } | Request::QueryRange { .. } => Class::Query,
         }
     }
 
@@ -88,6 +102,15 @@ impl Request {
                 .ingest_streaming(&dataset, &pdb_text, &xtc_bytes, batch_frames)
                 .map(Reply::Ingest),
             Request::Query { dataset, tag } => ada.query(&dataset, tag.as_ref()).map(Reply::Query),
+            Request::QueryRange {
+                dataset,
+                tag,
+                start,
+                end,
+                stride,
+            } => ada
+                .query_range(&dataset, &tag, start..end, stride)
+                .map(Reply::Query),
         }
     }
 }
@@ -137,6 +160,14 @@ mod tests {
             tag: None,
         };
         assert_eq!(q.class(), Class::Query);
+        let r = Request::QueryRange {
+            dataset: "d".into(),
+            tag: Tag::protein(),
+            start: 0,
+            end: 8,
+            stride: 2,
+        };
+        assert_eq!(r.class(), Class::Query);
         let i = Request::IngestStreaming {
             dataset: "d".into(),
             pdb_text: String::new(),

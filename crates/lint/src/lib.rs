@@ -229,9 +229,10 @@ pub fn run_workspace(root: &Path) -> Result<LintReport, LintError> {
             }
             // The error enum and its kind() map live in core today; the
             // frontend (which adds admission-control variants' call
-            // sites) is scanned too so the pass keeps working if the
-            // enum or the impl ever migrates there.
-            if crate_name == "core" || crate_name == "frontend" {
+            // sites) and the cache (whose admission outcomes feed error
+            // reporting) are scanned too so the pass keeps working if
+            // the enum or the impl ever migrates there.
+            if crate_name == "core" || crate_name == "frontend" || crate_name == "cache" {
                 core_files.push((rel, tokens));
             }
             files_scanned += 1;

@@ -54,7 +54,7 @@ pub const RULES: &[&str] = &[
 /// Crates whose pipelines rely on bounded channels for backpressure.
 const PIPELINE_CRATES: &[&str] = &["core", "frontend", "plfs", "simfs", "vmdsim"];
 /// Crates on the ingest/query hot path that must use `parking_lot`.
-const HOT_CRATES: &[&str] = &["core", "frontend", "plfs", "simfs"];
+const HOT_CRATES: &[&str] = &["cache", "core", "frontend", "plfs", "simfs"];
 /// Crates exempt from `no-panic-in-lib` / `no-print-in-lib` (CLI + bench
 /// harness; panics there abort one run, not a library caller's pipeline).
 const BENCH_CRATES: &[&str] = &["bench"];
