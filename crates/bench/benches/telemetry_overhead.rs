@@ -6,17 +6,26 @@
 //! disabled every record site collapses to a relaxed load + branch, so
 //! the enabled/disabled delta IS the telemetry cost.
 //!
-//! The <2 % regression assertion is off by default (Criterion wall-clock
-//! noise on shared CI would flake it); opt in with
+//! A second group measures request *tracing* the same way: a full
+//! ingest+query roundtrip through the `Ada` facade (which mints a trace
+//! root and records a span tree per request) with tracing on vs
+//! `trace::set_tracing(false)`. Tracing must fit the same <2 % budget.
+//!
+//! The <2 % regression assertions are off by default (Criterion
+//! wall-clock noise on shared CI would flake them); opt in with
 //! `ADA_TELEMETRY_OVERHEAD_ASSERT=1 cargo bench -p ada-bench --bench
 //! telemetry_overhead`.
 
-use ada_core::{categorize_algo1, split_trajectory_serial, Labeler};
+use ada_core::{categorize_algo1, split_trajectory_serial, Ada, AdaConfig, IngestInput, Labeler};
 use ada_mdformats::Trajectory;
 use ada_mdmodel::category::Taxonomy;
-use ada_telemetry::span;
+use ada_mdmodel::Tag;
+use ada_plfs::ContainerSet;
+use ada_simfs::{LocalFs, SimFileSystem};
+use ada_telemetry::{span, trace};
 use ada_workload::gpcr_workload;
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn split_instrumented(traj: &Trajectory, labeler: &Labeler) -> u64 {
@@ -84,5 +93,102 @@ fn bench_overhead(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_overhead);
+fn tracing_bench_ada() -> Ada {
+    let ssd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_nvme());
+    let hdd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_hdd());
+    let containers = Arc::new(ContainerSet::new(vec![
+        ("ssd".into(), ssd.clone()),
+        ("hdd".into(), hdd),
+    ]));
+    Ada::new(AdaConfig::paper_prototype("ssd", "hdd"), containers, ssd)
+}
+
+/// One traced request pair: ingest a fresh dataset (unique name per rep
+/// — ingest refuses to overwrite), query the protein tag, delete. Each
+/// call mints a trace root and records its span tree when tracing is on.
+fn roundtrip(ada: &Ada, pdb_text: &str, xtc_bytes: &[u8], rep: u64) -> u64 {
+    let dataset = format!("ovh{}", rep);
+    ada.ingest(
+        &dataset,
+        IngestInput::Real {
+            pdb_text: pdb_text.to_string(),
+            xtc_bytes: xtc_bytes.to_vec(),
+        },
+    )
+    .unwrap();
+    let report = ada.query(&dataset, Some(&Tag::protein())).unwrap();
+    ada.delete_dataset(&dataset).unwrap();
+    report.data.bytes()
+}
+
+/// Mean ns per traced ingest+query roundtrip over `reps` runs.
+fn measure_roundtrip(ada: &Ada, pdb: &str, xtc: &[u8], reps: u64, base: &mut u64) -> f64 {
+    let t = Instant::now();
+    for _ in 0..reps {
+        *base += 1;
+        black_box(roundtrip(ada, pdb, xtc, *base));
+    }
+    t.elapsed().as_nanos() as f64 / reps as f64
+}
+
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let w = gpcr_workload(2_000, 20, 5);
+    let pdb_text = ada_mdformats::write_pdb(&w.system);
+    let xtc_bytes =
+        ada_mdformats::xtc::write_xtc(&w.trajectory, ada_mdformats::xtc::DEFAULT_PRECISION)
+            .unwrap();
+    let ada = tracing_bench_ada();
+    let mut rep = 0u64;
+
+    let mut g = c.benchmark_group("tracing_overhead");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.throughput(Throughput::Bytes(w.trajectory.nbytes() as u64));
+
+    trace::set_tracing(true);
+    g.bench_function("ingest_query_tracing_enabled", |b| {
+        b.iter(|| {
+            rep += 1;
+            roundtrip(&ada, &pdb_text, &xtc_bytes, rep)
+        })
+    });
+    trace::set_tracing(false);
+    g.bench_function("ingest_query_tracing_disabled", |b| {
+        b.iter(|| {
+            rep += 1;
+            roundtrip(&ada, &pdb_text, &xtc_bytes, rep)
+        })
+    });
+    trace::set_tracing(true);
+    g.finish();
+
+    if std::env::var("ADA_TELEMETRY_OVERHEAD_ASSERT").as_deref() == Ok("1") {
+        let (reps, rounds) = (4u64, 5u32);
+        measure_roundtrip(&ada, &pdb_text, &xtc_bytes, reps, &mut rep);
+        let (mut on, mut off) = (0.0, 0.0);
+        for _ in 0..rounds {
+            trace::set_tracing(true);
+            on += measure_roundtrip(&ada, &pdb_text, &xtc_bytes, reps, &mut rep);
+            trace::set_tracing(false);
+            off += measure_roundtrip(&ada, &pdb_text, &xtc_bytes, reps, &mut rep);
+        }
+        trace::set_tracing(true);
+        trace::recorder().clear();
+        let overhead = on / off - 1.0;
+        println!(
+            "tracing overhead on ingest+query roundtrip: {:+.3}% (enabled {:.2} ms, disabled {:.2} ms)",
+            overhead * 100.0,
+            on / 1e6 / f64::from(rounds),
+            off / 1e6 / f64::from(rounds),
+        );
+        assert!(
+            overhead < 0.02,
+            "tracing overhead {:.3}% exceeds the 2% budget",
+            overhead * 100.0
+        );
+    }
+}
+
+criterion_group!(benches, bench_overhead, bench_tracing_overhead);
 criterion_main!(benches);

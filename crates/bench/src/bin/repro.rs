@@ -26,12 +26,34 @@ fn main() {
             std::process::exit(2);
         }
     }
+    // `--trace-out <path>`: after all requested items ran, export the
+    // flight recorder's traces as Chrome trace-event JSON (open in
+    // Perfetto or chrome://tracing). Combine with `bench-contention`,
+    // `bench-sampling`, or `profile-query` to see their span trees.
+    let mut trace_out: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--trace-out") {
+        args.remove(i);
+        if i < args.len() {
+            trace_out = Some(args.remove(i));
+        } else {
+            eprintln!("--trace-out needs a path argument");
+            std::process::exit(2);
+        }
+    }
     // `--json` (for `repro lint`): also write LINT.json next to the
     // terminal report.
     let mut lint_json = false;
     if let Some(i) = args.iter().position(|a| a == "--json") {
         args.remove(i);
         lint_json = true;
+    }
+    // `--selftest` (for `repro trace`): validate the emitted Chrome
+    // trace against the trace-event schema and exit non-zero on any
+    // violation, so CI can gate on the export staying loadable.
+    let mut trace_selftest = false;
+    if let Some(i) = args.iter().position(|a| a == "--selftest") {
+        args.remove(i);
+        trace_selftest = true;
     }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
@@ -88,6 +110,7 @@ fn main() {
             "profile-query" => profile_query(),
             "bench-contention" => bench_contention(),
             "bench-sampling" => bench_sampling(),
+            "trace" => run_trace(trace_selftest),
             "lint" => run_lint(lint_json),
             other => eprintln!("unknown item '{}'", other),
         }
@@ -95,9 +118,167 @@ fn main() {
 
     if let Some(path) = metrics_out {
         ada_telemetry::flush();
-        let snap = ada_telemetry::global().snapshot();
-        std::fs::write(&path, snap.to_json().to_vec()).expect("write metrics snapshot");
+        let snap = ada_telemetry::snapshot_with_traces();
+        std::fs::write(&path, snap.to_vec()).expect("write metrics snapshot");
         eprintln!("wrote metrics snapshot to {}", path);
+    }
+    if let Some(path) = trace_out {
+        let json = ada_telemetry::trace::recorder().export_chrome();
+        std::fs::write(&path, json.to_vec()).expect("write chrome trace");
+        eprintln!("wrote chrome trace to {}", path);
+    }
+}
+
+/// `repro trace` — run a small mixed workload through the front-end (an
+/// ingest, tag/full/range queries, one failing request), then export the
+/// flight recorder's span trees as `TRACE_events.json` (Chrome
+/// trace-event JSON — load it in Perfetto or chrome://tracing). With
+/// `--selftest`, re-parse the export and validate the event schema plus
+/// the tree invariants CI cares about, exiting non-zero on violation.
+fn run_trace(selftest: bool) {
+    use ada_core::IngestInput;
+    use ada_frontend::{Frontend, FrontendConfig};
+    use ada_json::Value;
+    use ada_mdformats::write_pdb;
+    use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
+    use std::sync::Arc;
+
+    let recorder = ada_telemetry::trace::recorder();
+    recorder.clear();
+    recorder.set_latency_threshold(Some(std::time::Duration::from_millis(250)));
+
+    let w = ada_workload::gpcr_workload(2_000, 100, 7);
+    let fe = Frontend::new(Arc::new(query_bench_ada(2)), FrontendConfig::default());
+    fe.ingest(
+        "demo-client",
+        "demo",
+        IngestInput::Real {
+            pdb_text: write_pdb(&w.system),
+            xtc_bytes: write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap(),
+        },
+    )
+    .expect("demo ingest");
+    fe.query("demo-client", "demo", Some(&Tag::protein()))
+        .expect("protein query");
+    fe.query("demo-client", "demo", None).expect("full query");
+    fe.query_range("demo-client", "demo", &Tag::protein(), 0..64, 4)
+        .expect("range query");
+    // One failing request, so the export demonstrates a flagged trace.
+    let err = fe
+        .query("demo-client", "no-such-dataset", None)
+        .expect_err("unknown dataset must fail");
+
+    let traces = recorder.all();
+    let retained = recorder.retained();
+    let spans: usize = traces.iter().map(|t| t.spans.len()).sum();
+    let json = recorder.export_chrome();
+    std::fs::write("TRACE_events.json", json.to_vec()).expect("write TRACE_events.json");
+    println!(
+        "repro trace: {} trace(s), {} span(s), {} retained (flagged: {:?})",
+        traces.len(),
+        spans,
+        retained.len(),
+        retained
+            .iter()
+            .filter_map(|t| t.flag.clone())
+            .collect::<Vec<_>>()
+    );
+    println!("  wrote TRACE_events.json — open in Perfetto or chrome://tracing\n");
+
+    if !selftest {
+        return;
+    }
+    let mut failures: Vec<String> = Vec::new();
+    let mut check = |ok: bool, msg: &str| {
+        if !ok {
+            failures.push(msg.to_string());
+        }
+    };
+
+    check(err.kind() == "unknown_dataset", "failing request kind");
+    check(traces.len() == 5, "expected 5 traces (1 ingest, 4 queries)");
+    check(
+        retained
+            .iter()
+            .any(|t| t.flag.as_deref() == Some("error:unknown_dataset")),
+        "errored trace retained with its kind",
+    );
+    for t in &traces {
+        check(
+            t.spans.iter().filter(|s| s.parent.is_none()).count() == 1,
+            "exactly one root span per trace",
+        );
+        for s in &t.spans {
+            if let Some(p) = s.parent {
+                check(
+                    t.spans.iter().any(|o| o.id == p),
+                    "parent links resolve within the trace",
+                );
+            }
+        }
+    }
+    check(
+        traces.iter().any(|t| {
+            let threads: std::collections::BTreeSet<&str> =
+                t.spans.iter().map(|s| s.thread.as_str()).collect();
+            threads.len() >= 2
+        }),
+        "at least one trace crosses a thread boundary",
+    );
+
+    // Round-trip the written file through the JSON parser and validate
+    // the Chrome trace-event schema.
+    let bytes = std::fs::read("TRACE_events.json").expect("read back TRACE_events.json");
+    match ada_json::parse(&bytes) {
+        Err(e) => check(false, &format!("export must re-parse: {:?}", e)),
+        Ok(parsed) => match parsed.field("traceEvents").and_then(Value::as_arr) {
+            Err(_) => check(false, "export must contain a traceEvents array"),
+            Ok(events) => {
+                check(!events.is_empty(), "traceEvents must be non-empty");
+                let mut xs = 0usize;
+                for ev in events {
+                    let ph = ev.field("ph").and_then(Value::as_str).unwrap_or("");
+                    check(ph == "X" || ph == "M", "event phase must be X or M");
+                    check(
+                        ev.field("name").and_then(Value::as_str).is_ok(),
+                        "event name",
+                    );
+                    check(ev.field("pid").and_then(Value::as_u64).is_ok(), "event pid");
+                    check(ev.field("tid").and_then(Value::as_u64).is_ok(), "event tid");
+                    if ph == "X" {
+                        xs += 1;
+                        check(
+                            matches!(ev.field("ts"), Ok(Value::Num(n)) if *n >= 0.0),
+                            "X event ts",
+                        );
+                        check(
+                            matches!(ev.field("dur"), Ok(Value::Num(n)) if *n >= 0.0),
+                            "X event dur",
+                        );
+                        check(
+                            ev.field("args")
+                                .and_then(|a| a.field("trace"))
+                                .and_then(Value::as_str)
+                                .is_ok(),
+                            "X event args.trace id",
+                        );
+                    }
+                }
+                check(xs == spans, "one X event per recorded span");
+            }
+        },
+    }
+
+    recorder.set_latency_threshold(None);
+    if failures.is_empty() {
+        println!("repro trace --selftest: ok ({} spans validated)\n", spans);
+    } else {
+        failures.sort();
+        failures.dedup();
+        for f in &failures {
+            eprintln!("repro trace --selftest: FAIL: {}", f);
+        }
+        std::process::exit(1);
     }
 }
 

@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 
 use ada_core::{Ada, AdaError, IngestInput, IngestReport, QueryReport};
 use ada_mdmodel::Tag;
+use ada_telemetry::trace::{self, TraceContext};
 use ada_telemetry::{Counter, Gauge, Histogram};
 use parking_lot::Mutex;
 
@@ -31,12 +32,17 @@ use crate::request::{Class, Reply, Request};
 use crate::scheduler::{Popped, SchedulerCore};
 use crate::stats::{ClassStats, FrontendStats};
 
-/// One admitted request plus the channel its client is blocked on.
+/// One admitted request plus the channel its client is blocked on. The
+/// trace context rides along so the worker's spans (queue wait, slot-held
+/// execution, everything the middleware adds) join the tree rooted at
+/// admission; the root guard itself stays with the blocked client in
+/// [`Frontend::submit`], which seals the trace before returning.
 #[derive(Debug)]
 struct Job {
     client: String,
     request: Request,
     reply: SyncSender<Result<Reply, AdaError>>,
+    ctx: TraceContext,
 }
 
 /// Global-registry handles, registered once at construction so every
@@ -199,11 +205,20 @@ impl Frontend {
         deadline: Option<Duration>,
     ) -> Result<Reply, AdaError> {
         let class = request.class();
+        // Every request — including one about to be shed — gets a trace
+        // root here at admission. The guard stays on this (client) thread;
+        // it seals the trace when this function returns, by which point
+        // the worker has already sent the reply and therefore finished
+        // every child span.
+        let (ctx, mut root) = trace::root("frontend.request");
+        root.arg("op", request.op_name());
+        root.arg("client", client);
         let (reply_tx, reply_rx) = sync_channel::<Result<Reply, AdaError>>(1);
         let job = Job {
             client: client.to_string(),
             request,
             reply: reply_tx,
+            ctx,
         };
         let now = self.shared.now_ns();
         let deadline_ns = deadline.map(|d| d.as_nanos().min(u64::MAX as u128) as u64);
@@ -211,6 +226,12 @@ impl Frontend {
         match admitted {
             Err(rej) => {
                 self.shared.note_rejected(class, client);
+                // A shed request keeps a debuggable (flagged) trace: the
+                // queue depth that triggered the shed and the retry hint
+                // handed to the client.
+                root.set_error("overloaded");
+                root.arg("queue_depth", rej.queue_depth);
+                root.arg("retry_after_ns", rej.retry_after_ns);
                 Err(AdaError::Overloaded {
                     queue_depth: rej.queue_depth,
                     retry_after: Duration::from_nanos(rej.retry_after_ns),
@@ -220,14 +241,25 @@ impl Frontend {
                 self.shared.note_enqueue(class);
                 if let Some(tx) = &self.tokens[class.idx()] {
                     if tx.send(()).is_err() {
+                        root.set_error("internal");
                         return Err(AdaError::Internal(
                             "frontend worker pool is gone".to_string(),
                         ));
                     }
                 }
-                reply_rx.recv().map_err(|_| {
-                    AdaError::Internal("frontend worker dropped the reply channel".to_string())
-                })?
+                let res = match reply_rx.recv() {
+                    Ok(r) => r,
+                    Err(_) => {
+                        root.set_error("internal");
+                        return Err(AdaError::Internal(
+                            "frontend worker dropped the reply channel".to_string(),
+                        ));
+                    }
+                };
+                if let Err(e) = &res {
+                    root.set_error(e.kind());
+                }
+                res
             }
         }
     }
@@ -328,6 +360,14 @@ impl Frontend {
     pub fn ada(&self) -> &Ada {
         &self.shared.ada
     }
+
+    /// The process-wide flight recorder of completed request traces
+    /// (passthrough of [`Ada::flight_recorder`]): every admitted request
+    /// leaves a recent trace; shed, expired, errored, and
+    /// over-latency-threshold requests are retained.
+    pub fn flight_recorder(&self) -> &'static ada_telemetry::trace::FlightRecorder {
+        self.shared.ada.flight_recorder()
+    }
 }
 
 impl Drop for Frontend {
@@ -355,7 +395,13 @@ fn worker_loop(shared: &Shared, class: Class, rx: &Mutex<Receiver<()>>) {
             return; // front-end dropped and the queue is drained
         }
         let now = shared.now_ns();
-        let popped = shared.core.lock().pop(class, now);
+        // Queue depth observed at pop time rides along as a span arg, so
+        // an expired request's trace says how deep the line it died in was.
+        let (popped, depth) = {
+            let mut core = shared.core.lock();
+            let p = core.pop(class, now);
+            (p, core.queue_depth(class))
+        };
         match popped {
             // Unreachable by construction (tokens are 1:1 with queued
             // jobs and worker count equals the slot limit), but a lost
@@ -369,6 +415,17 @@ fn worker_loop(shared: &Shared, class: Class, rx: &Mutex<Receiver<()>>) {
             }) => {
                 shared.note_dequeue(class, waited_ns);
                 shared.note_deadline_exceeded(class, &job.client);
+                let end = trace::now_ns();
+                job.ctx.record(
+                    "frontend.queue_wait",
+                    end.saturating_sub(waited_ns),
+                    end,
+                    vec![
+                        ("waited_ns", waited_ns.into()),
+                        ("deadline_ns", deadline_ns.into()),
+                        ("queue_depth", depth.into()),
+                    ],
+                );
                 let _ = job.reply.send(Err(AdaError::DeadlineExceeded {
                     waited: Duration::from_nanos(waited_ns),
                     deadline: Duration::from_nanos(deadline_ns),
@@ -377,8 +434,21 @@ fn worker_loop(shared: &Shared, class: Class, rx: &Mutex<Receiver<()>>) {
             Some(Popped::Start { job, waited_ns, .. }) => {
                 shared.note_dequeue(class, waited_ns);
                 shared.note_accepted(class, &job.client);
+                let end = trace::now_ns();
+                job.ctx.record(
+                    "frontend.queue_wait",
+                    end.saturating_sub(waited_ns),
+                    end,
+                    vec![("waited_ns", waited_ns.into())],
+                );
                 let t = Instant::now();
-                let res = job.request.execute(&shared.ada);
+                let res = {
+                    // Slot-held span: everything the middleware does for
+                    // this request nests under it.
+                    let exec = job.ctx.span("frontend.execute");
+                    let ectx = exec.ctx();
+                    job.request.execute(&shared.ada, &ectx)
+                };
                 let service_ns = t.elapsed().as_nanos() as u64;
                 // Release the slot before replying so a client that saw
                 // its request finish also sees balanced stats.

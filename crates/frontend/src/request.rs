@@ -2,6 +2,7 @@
 
 use ada_core::{Ada, AdaError, IngestInput, IngestReport, QueryReport};
 use ada_mdmodel::Tag;
+use ada_telemetry::trace::TraceContext;
 
 /// Admission class a request competes in. Ingest and query contend for
 /// different storage-node resources (write bandwidth + split CPU vs. read
@@ -88,20 +89,35 @@ impl Request {
         }
     }
 
-    /// Execute against the shared middleware. Runs on a worker thread
-    /// after the scheduler granted a slot.
-    pub(crate) fn execute(self, ada: &Ada) -> Result<Reply, AdaError> {
+    /// Stable lowercase operation name (trace/metric vocabulary).
+    pub fn op_name(&self) -> &'static str {
         match self {
-            Request::Ingest { dataset, input } => ada.ingest(&dataset, input).map(Reply::Ingest),
+            Request::Ingest { .. } => "ingest",
+            Request::IngestStreaming { .. } => "ingest_streaming",
+            Request::Query { .. } => "query",
+            Request::QueryRange { .. } => "query_range",
+        }
+    }
+
+    /// Execute against the shared middleware. Runs on a worker thread
+    /// after the scheduler granted a slot; `ctx` is the request's trace
+    /// context, so the middleware's spans join the admission root's tree.
+    pub(crate) fn execute(self, ada: &Ada, ctx: &TraceContext) -> Result<Reply, AdaError> {
+        match self {
+            Request::Ingest { dataset, input } => {
+                ada.ingest_traced(&dataset, input, ctx).map(Reply::Ingest)
+            }
             Request::IngestStreaming {
                 dataset,
                 pdb_text,
                 xtc_bytes,
                 batch_frames,
             } => ada
-                .ingest_streaming(&dataset, &pdb_text, &xtc_bytes, batch_frames)
+                .ingest_streaming_traced(&dataset, &pdb_text, &xtc_bytes, batch_frames, ctx)
                 .map(Reply::Ingest),
-            Request::Query { dataset, tag } => ada.query(&dataset, tag.as_ref()).map(Reply::Query),
+            Request::Query { dataset, tag } => ada
+                .query_traced(&dataset, tag.as_ref(), ctx)
+                .map(Reply::Query),
             Request::QueryRange {
                 dataset,
                 tag,
@@ -109,7 +125,7 @@ impl Request {
                 end,
                 stride,
             } => ada
-                .query_range(&dataset, &tag, start..end, stride)
+                .query_range_traced(&dataset, &tag, start..end, stride, ctx)
                 .map(Reply::Query),
         }
     }

@@ -199,6 +199,7 @@ pub fn run_workspace(root: &Path) -> Result<LintReport, LintError> {
     let mut diagnostics: Vec<Diagnostic> = Vec::new();
     let mut files_scanned = 0usize;
     let mut core_files: Vec<(String, Vec<lexer::Token>)> = Vec::new();
+    let mut all_files: Vec<(String, Vec<lexer::Token>)> = Vec::new();
 
     for crate_dir in &crate_dirs {
         let crate_name = crate_dir
@@ -233,8 +234,9 @@ pub fn run_workspace(root: &Path) -> Result<LintReport, LintError> {
             // reporting) are scanned too so the pass keeps working if
             // the enum or the impl ever migrates there.
             if crate_name == "core" || crate_name == "frontend" || crate_name == "cache" {
-                core_files.push((rel, tokens));
+                core_files.push((rel.clone(), tokens.clone()));
             }
+            all_files.push((rel, tokens));
             files_scanned += 1;
         }
     }
@@ -243,6 +245,16 @@ pub fn run_workspace(root: &Path) -> Result<LintReport, LintError> {
     // without one (e.g. rule-test fixtures) have nothing to check.
     if !core_files.is_empty() {
         diagnostics.extend(semantic::check_error_kinds(&core_files));
+    }
+    // The metric-name pass runs only where a catalog exists: a workspace
+    // without METRICS.md (e.g. rule-test fixtures) opted out.
+    let catalog_path = root.join("METRICS.md");
+    if catalog_path.is_file() {
+        let catalog = std::fs::read_to_string(&catalog_path).map_err(|source| LintError::Io {
+            path: catalog_path,
+            source,
+        })?;
+        diagnostics.extend(semantic::check_metric_names(&all_files, &catalog));
     }
     diagnostics.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))

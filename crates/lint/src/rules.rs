@@ -28,6 +28,11 @@ pub const NO_PRINT: &str = "no-print-in-lib";
 /// `error-kind-exhaustive`: every `AdaError` variant maps to a distinct
 /// kind string in `kind()`, with no wildcard arm (see `semantic.rs`).
 pub const ERROR_KIND: &str = "error-kind-exhaustive";
+/// `metric-name-registered`: every metric/span name literal passed to a
+/// telemetry sink (`counter`/`gauge`/`histogram`/`span`/`record`/`root`)
+/// must be catalogued in `METRICS.md` (see `semantic.rs`). Skipped when
+/// the workspace has no catalog.
+pub const METRIC_NAME: &str = "metric-name-registered";
 /// `forbid-unsafe`: no `unsafe` tokens anywhere, and every library crate
 /// root carries `#![forbid(unsafe_code)]`.
 pub const FORBID_UNSAFE: &str = "forbid-unsafe";
@@ -46,6 +51,7 @@ pub const RULES: &[&str] = &[
     NO_STD_SYNC,
     NO_PRINT,
     ERROR_KIND,
+    METRIC_NAME,
     FORBID_UNSAFE,
     MALFORMED_ALLOW,
     UNUSED_ALLOW,
@@ -377,7 +383,7 @@ fn matches_path(tokens: &[Token], code: &[usize], j: usize, parts: &[&str]) -> b
 /// following item (through its `{ … }` body or terminating `;`) and marks
 /// the token range. `cfg(any(test, …))` counts: any `test` ident inside a
 /// `cfg` attribute marks the item.
-fn test_regions(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn test_regions(tokens: &[Token]) -> Vec<bool> {
     let code: Vec<usize> = (0..tokens.len())
         .filter(|&i| !tokens[i].is_comment())
         .collect();

@@ -1,4 +1,5 @@
-//! Cross-file semantic pass: `error-kind-exhaustive`.
+//! Cross-file semantic passes: `error-kind-exhaustive` and
+//! `metric-name-registered`.
 //!
 //! Telemetry counts failures as `ada.{op}.err.{kind}`, so `AdaError::kind()`
 //! is load-bearing: every variant must map to its *own* stable kind string.
@@ -14,9 +15,19 @@
 //!
 //! These diagnostics are **not** suppressible: a wrong kind map silently
 //! corrupts error-rate telemetry, so there is no safe reason to allow it.
+//!
+//! The second pass, [`check_metric_names`], keeps `METRICS.md` the single
+//! source of truth for the observability vocabulary: every string literal
+//! handed to a telemetry sink (`counter`/`gauge`/`histogram`/`span`/
+//! `record`/`record_span`/`root`, function or macro form) must appear
+//! backtick-quoted in the catalog. Dynamically built names (`format!`
+//! families) are invisible to the pass and are documented in the
+//! catalog's prose instead. Like the kind pass, findings here are not
+//! suppressible — an uncatalogued name is fixed by registering it.
 
 use crate::lexer::{Token, TokenKind};
-use crate::rules::{Diagnostic, ERROR_KIND};
+use crate::rules::{Diagnostic, ERROR_KIND, METRIC_NAME};
+use std::collections::BTreeSet;
 
 /// Name of the error enum whose `kind()` map is checked.
 pub const ERROR_ENUM: &str = "AdaError";
@@ -121,6 +132,97 @@ pub fn check_error_kinds(files: &[(String, Vec<Token>)]) -> Vec<Diagnostic> {
     }
 
     diags
+}
+
+/// Idents that record a metric or span when called with a string-literal
+/// first argument: registry sinks (`counter`/`gauge`/`histogram`), trace
+/// and stage-span openers (`span`/`root`, fn or macro form), and the
+/// pre-measured recorders (`record`/`record_span`).
+const METRIC_SINKS: &[&str] = &[
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "record",
+    "record_span",
+    "root",
+];
+
+/// Run the metric-name pass over `(path, tokens)` pairs from every crate,
+/// against the backtick-quoted names registered in `catalog` (the text of
+/// `METRICS.md`). Test code is exempt (tests mint throwaway names).
+pub fn check_metric_names(files: &[(String, Vec<Token>)], catalog: &str) -> Vec<Diagnostic> {
+    let registered = catalog_names(catalog);
+    let mut diags = Vec::new();
+    for (path, tokens) in files {
+        let in_test = crate::rules::test_regions(tokens);
+        let code: Vec<usize> = (0..tokens.len())
+            .filter(|&i| !tokens[i].is_comment())
+            .collect();
+        let is_p = |j: usize, c: char| {
+            tokens[code[j]].kind == TokenKind::Punct && tokens[code[j]].text.starts_with(c)
+        };
+        for j in 0..code.len() {
+            let t = &tokens[code[j]];
+            if t.kind != TokenKind::Ident
+                || in_test[code[j]]
+                || !METRIC_SINKS.contains(&t.text.as_str())
+            {
+                continue;
+            }
+            // Optional `!` (macro form), then `(`, then a string literal.
+            let mut k = j + 1;
+            if k < code.len() && is_p(k, '!') {
+                k += 1;
+            }
+            if !(k < code.len() && is_p(k, '(')) {
+                continue;
+            }
+            k += 1;
+            if !(k < code.len() && tokens[code[k]].kind == TokenKind::Str) {
+                continue;
+            }
+            let lit = &tokens[code[k]];
+            let name = lit
+                .text
+                .trim_start_matches('r')
+                .trim_matches('#')
+                .trim_matches('"');
+            if !registered.contains(name) {
+                diags.push(Diagnostic {
+                    rule: METRIC_NAME,
+                    path: path.clone(),
+                    line: lit.line,
+                    col: lit.col,
+                    message: format!(
+                        "metric/span name \"{}\" is not registered in METRICS.md; add it to the \
+                         catalog (or rename to a registered family)",
+                        name
+                    ),
+                    suppressed: None,
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// Every backtick-quoted name in the catalog. Names containing `{` are
+/// dynamic-family *documentation* and never match a literal, but keeping
+/// them out of the set costs nothing and keeps intent explicit.
+fn catalog_names(catalog: &str) -> BTreeSet<&str> {
+    let mut names = BTreeSet::new();
+    let mut rest = catalog;
+    while let Some(open) = rest.find('`') {
+        rest = &rest[open + 1..];
+        let Some(close) = rest.find('`') else { break };
+        let name = &rest[..close];
+        if !name.is_empty() && !name.contains('{') {
+            names.insert(name);
+        }
+        rest = &rest[close + 1..];
+    }
+    names
 }
 
 fn at(path: &str, line: u32, col: u32, message: String) -> Diagnostic {

@@ -128,6 +128,28 @@ fn allow_comment_suppresses_exactly_one_finding_and_keeps_its_reason() {
         .any(|d| d.rule == "no-panic-in-lib" && d.line == 31));
 }
 
+/// The metric catalog pass: literals registered in METRICS.md (and names
+/// in test code) pass; unregistered literals fail with exact spans. The
+/// `ws`/`clean_ws` fixtures have no METRICS.md, so the pass is skipped
+/// there — their exact-tuple expectations above stay valid.
+#[test]
+fn metric_names_must_be_registered_in_the_catalog() {
+    let report = run_workspace(&fixture("metrics_ws")).unwrap();
+    let got: Vec<(&str, u32, u32, &str)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule, d.line, d.col, d.message.as_str()))
+        .collect();
+    assert_eq!(got.len(), 2, "{:?}", got);
+    for (rule, _, _, _) in &got {
+        assert_eq!(*rule, "metric-name-registered");
+    }
+    assert_eq!((got[0].1, got[0].2), (9, 19), "histogram literal span");
+    assert!(got[0].3.contains("\"app.unknown_ns\""), "{}", got[0].3);
+    assert_eq!((got[1].1, got[1].2), (10, 25), "trace root literal span");
+    assert!(got[1].3.contains("\"app.trace\""), "{}", got[1].3);
+}
+
 #[test]
 fn clean_workspace_has_no_findings() {
     let report = run_workspace(&fixture("clean_ws")).unwrap();

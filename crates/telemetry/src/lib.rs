@@ -22,6 +22,11 @@
 //! * **snapshot export**: [`Registry::snapshot`] → [`Snapshot::to_json`]
 //!   via `ada-json`, consumed by `repro --metrics-out` and
 //!   `repro profile-ingest`.
+//! * **request tracing** ([`trace`]): per-request span *trees* with a
+//!   propagatable [`TraceContext`], a bounded [`trace::FlightRecorder`]
+//!   retaining slow/shed/errored traces, and Chrome trace-event export
+//!   ([`trace::chrome_trace`]) for Perfetto — the per-request complement
+//!   to the aggregate metrics above (DESIGN.md §13).
 //!
 //! Telemetry is on by default and globally switchable: [`set_enabled`]
 //! flips an `AtomicBool` that span creation and the instrumented call
@@ -34,9 +39,11 @@
 
 pub mod histogram;
 pub mod span;
+pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use span::{flush, SpanGuard, SpanRecord};
+pub use trace::{FlightRecorder, Trace, TraceContext, TraceSpan, TraceSpanGuard};
 
 use ada_json::Value;
 use parking_lot::Mutex;
@@ -316,6 +323,17 @@ impl Snapshot {
             ("histograms", histograms),
         ])
     }
+}
+
+/// [`global`] registry snapshot as JSON with the flight recorder's trace
+/// summaries attached under `"traces"` — the full observability export
+/// (`repro --metrics-out` writes this).
+pub fn snapshot_with_traces() -> Value {
+    let mut v = global().snapshot().to_json();
+    if let Value::Obj(fields) = &mut v {
+        fields.push(("traces".to_string(), trace::recorder().to_json()));
+    }
+    v
 }
 
 /// Serializes tests that observe or flip the global enable switch.

@@ -24,7 +24,8 @@
 //! assert!(snap.counters["span.split.p.bytes"] >= 4096);
 //! ```
 
-use std::cell::RefCell;
+use parking_lot::Mutex;
+use std::sync::{Arc, Weak};
 use std::time::Instant;
 
 /// Spans buffered per thread before a drain to the registry.
@@ -45,20 +46,42 @@ pub struct SpanRecord {
     pub frames: u64,
 }
 
+/// A thread's span buffer. The owning thread is the only frequent locker
+/// (uncontended parking_lot lock ≈ one CAS); [`flush`] on another thread
+/// contends only at snapshot time.
+type SharedBuf = Arc<Mutex<Vec<SpanRecord>>>;
+
+/// Weak handles to every live thread's buffer, so [`flush`] can drain
+/// workers that are still running (threads that exited drained themselves
+/// and their entries lazily prune here).
+static LIVE: Mutex<Vec<Weak<Mutex<Vec<SpanRecord>>>>> = Mutex::new(Vec::new());
+
 struct LocalBuf {
-    records: Vec<SpanRecord>,
+    shared: SharedBuf,
 }
 
 impl Drop for LocalBuf {
     fn drop(&mut self) {
         // A worker thread exiting drains whatever it still holds.
-        drain(&mut self.records);
+        drain(&mut self.shared.lock());
     }
 }
 
 thread_local! {
-    static BUF: RefCell<LocalBuf> = RefCell::new(LocalBuf {
-        records: Vec::with_capacity(FLUSH_THRESHOLD),
+    static BUF: LocalBuf = {
+        let shared: SharedBuf = Arc::new(Mutex::new(Vec::with_capacity(FLUSH_THRESHOLD)));
+        LIVE.lock().push(Arc::downgrade(&shared));
+        LocalBuf { shared }
+    };
+}
+
+fn push(rec: SpanRecord) {
+    BUF.with(|b| {
+        let mut buf = b.shared.lock();
+        buf.push(rec);
+        if buf.len() >= FLUSH_THRESHOLD {
+            drain(&mut buf);
+        }
     });
 }
 
@@ -95,11 +118,23 @@ fn drain(records: &mut Vec<SpanRecord>) {
     }
 }
 
-/// Drain this thread's buffered spans into the global registry. Call
-/// before taking a [`crate::Registry::snapshot`] on the same thread;
-/// other threads drain on buffer overflow and on exit.
+/// Drain **every live thread's** buffered spans into the global
+/// registry — including worker threads that are mid-pipeline and below
+/// [`FLUSH_THRESHOLD`]. Call before taking a
+/// [`crate::Registry::snapshot`] so the snapshot reflects all spans
+/// recorded so far, not just the calling thread's.
 pub fn flush() {
-    BUF.with(|b| drain(&mut b.borrow_mut().records));
+    // Collect strong handles under the LIVE lock, drain after releasing
+    // it: the recording path never touches LIVE, so lock order is
+    // LIVE → buffer → registry with no cycle.
+    let bufs: Vec<SharedBuf> = {
+        let mut live = LIVE.lock();
+        live.retain(|w| w.strong_count() > 0);
+        live.iter().filter_map(Weak::upgrade).collect()
+    };
+    for buf in bufs {
+        drain(&mut buf.lock());
+    }
 }
 
 /// Record an already-measured span — for pipeline stages that time
@@ -109,18 +144,12 @@ pub fn record(name: &'static str, tag: Option<String>, ns: u64, bytes: u64, fram
     if crate::disabled() {
         return;
     }
-    BUF.with(|b| {
-        let buf = &mut b.borrow_mut().records;
-        buf.push(SpanRecord {
-            name,
-            tag,
-            ns,
-            bytes,
-            frames,
-        });
-        if buf.len() >= FLUSH_THRESHOLD {
-            drain(buf);
-        }
+    push(SpanRecord {
+        name,
+        tag,
+        ns,
+        bytes,
+        frames,
     });
 }
 
@@ -180,13 +209,7 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some((start, mut rec)) = self.live.take() {
             rec.ns = start.elapsed().as_nanos() as u64;
-            BUF.with(|b| {
-                let buf = &mut b.borrow_mut().records;
-                buf.push(rec);
-                if buf.len() >= FLUSH_THRESHOLD {
-                    drain(buf);
-                }
-            });
+            push(rec);
         }
     }
 }
@@ -265,6 +288,28 @@ mod tests {
         // The threshold crossing drained without an explicit flush().
         let snap = crate::global().snapshot();
         assert!(snap.counters["span.test_stage_d.calls"] >= FLUSH_THRESHOLD as u64);
+    }
+
+    #[test]
+    fn flush_drains_live_worker_buffers() {
+        let _g = crate::test_guard();
+        let (ready_tx, ready_rx) = std::sync::mpsc::sync_channel::<()>(1);
+        let (done_tx, done_rx) = std::sync::mpsc::sync_channel::<()>(1);
+        let worker = std::thread::spawn(move || {
+            record("test_stage_f", None, 42, 7, 0);
+            ready_tx.send(()).unwrap();
+            done_rx.recv().unwrap();
+        });
+        ready_rx.recv().unwrap();
+        // The worker is still alive and far below FLUSH_THRESHOLD; before
+        // the registry-side drain this span stayed invisible until the
+        // thread exited.
+        flush();
+        let snap = crate::global().snapshot();
+        assert!(snap.counters["span.test_stage_f.calls"] >= 1);
+        assert!(snap.counters["span.test_stage_f.bytes"] >= 7);
+        done_tx.send(()).unwrap();
+        worker.join().unwrap();
     }
 
     #[test]

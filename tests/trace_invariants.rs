@@ -1,0 +1,418 @@
+//! Satellite suite (ISSUE 7): trace-tree invariants under concurrent load.
+//!
+//! What must hold:
+//! * every admitted request yields exactly one trace whose spans form a
+//!   single connected, acyclic tree rooted at span 1 — even when the
+//!   spans were recorded on reader/decoder worker threads;
+//! * child spans nest within their parent's wall time;
+//! * shed (`overloaded`), deadline-expired, and errored requests still
+//!   produce a trace, flagged and retained by the flight recorder, with
+//!   the shed/expired ones carrying queue-depth and retry/deadline args;
+//! * turning tracing off changes no query bytes (observability is
+//!   side-effect-free).
+//!
+//! The flight recorder is process-global, so these tests serialize on a
+//! local mutex and only assert on traces they can attribute to
+//! themselves (by op, flag, or a cleared recorder).
+
+use std::sync::{Arc, Barrier, Mutex, MutexGuard};
+use std::time::Duration;
+
+use ada_core::{Ada, AdaConfig, AdaError, IngestInput, RetrievedData};
+use ada_frontend::{Frontend, FrontendConfig, Request};
+use ada_mdmodel::Tag;
+use ada_plfs::ContainerSet;
+use ada_simfs::{LocalFs, SimFileSystem};
+use ada_telemetry::trace::{self, ArgValue, Trace, TraceSpan};
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn make_ada() -> Arc<Ada> {
+    let ssd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_nvme());
+    let hdd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_hdd());
+    let cs = Arc::new(ContainerSet::new(vec![
+        ("ssd".into(), ssd.clone()),
+        ("hdd".into(), hdd),
+    ]));
+    Arc::new(Ada::new(AdaConfig::paper_prototype("ssd", "hdd"), cs, ssd))
+}
+
+fn real_input(natoms: usize, nframes: usize, seed: u64) -> IngestInput {
+    let w = ada_workload::gpcr_workload(natoms, nframes, seed);
+    IngestInput::Real {
+        pdb_text: ada_mdformats::write_pdb(&w.system),
+        xtc_bytes: ada_mdformats::xtc::write_xtc(
+            &w.trajectory,
+            ada_mdformats::xtc::DEFAULT_PRECISION,
+        )
+        .unwrap(),
+    }
+}
+
+fn span_by_id(t: &Trace, id: u64) -> &TraceSpan {
+    t.spans
+        .iter()
+        .find(|s| s.id == id)
+        .unwrap_or_else(|| panic!("trace {:x}: dangling span id {}", t.id, id))
+}
+
+fn arg<'a>(s: &'a TraceSpan, key: &str) -> Option<&'a ArgValue> {
+    s.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+}
+
+/// The structural invariants every sealed trace must satisfy.
+fn assert_tree_invariants(t: &Trace) {
+    assert!(!t.spans.is_empty(), "trace {:x} has no spans", t.id);
+
+    // Exactly one root, and it is span 1.
+    let roots: Vec<&TraceSpan> = t.spans.iter().filter(|s| s.parent.is_none()).collect();
+    assert_eq!(
+        roots.len(),
+        1,
+        "trace {:x}: expected exactly one root span, got {:?}",
+        t.id,
+        roots.iter().map(|s| s.name).collect::<Vec<_>>()
+    );
+    assert_eq!(roots[0].id, 1, "root span must be id 1");
+    assert_eq!(roots[0].name, t.op, "root span is named after the op");
+
+    // Span ids are unique within the trace.
+    let mut ids: Vec<u64> = t.spans.iter().map(|s| s.id).collect();
+    ids.sort_unstable();
+    let n = ids.len();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "trace {:x}: duplicate span ids", t.id);
+
+    // Every parent link resolves, and every walk terminates at the root
+    // (acyclic: a cycle would exceed the span count in hops).
+    for s in &t.spans {
+        let mut cur = s;
+        let mut hops = 0usize;
+        while let Some(p) = cur.parent {
+            cur = span_by_id(t, p);
+            hops += 1;
+            assert!(
+                hops <= t.spans.len(),
+                "trace {:x}: parent cycle through span {}",
+                t.id,
+                s.id
+            );
+        }
+        assert_eq!(cur.id, 1, "trace {:x}: span {} not rooted", t.id, s.id);
+    }
+
+    // Children nest within their parent's wall time.
+    for s in &t.spans {
+        let Some(p) = s.parent else { continue };
+        let parent = span_by_id(t, p);
+        assert!(
+            s.start_ns >= parent.start_ns && s.end_ns <= parent.end_ns,
+            "trace {:x}: span {} ({}) [{},{}] escapes parent {} ({}) [{},{}]",
+            t.id,
+            s.id,
+            s.name,
+            s.start_ns,
+            s.end_ns,
+            parent.id,
+            parent.name,
+            parent.start_ns,
+            parent.end_ns
+        );
+    }
+}
+
+/// Concurrent mixed traffic: one connected tree per admitted request,
+/// crossing the frontend worker, backend reader, and decoder threads.
+#[test]
+fn concurrent_load_yields_one_connected_tree_per_request() {
+    const CLIENTS: usize = 6;
+    const QUERIES_PER_CLIENT: usize = 4;
+    let _g = serialize();
+    trace::set_tracing(true);
+    trace::recorder().clear();
+
+    let fe = Frontend::new(
+        make_ada(),
+        FrontendConfig {
+            ingest_slots: 2,
+            query_slots: 4,
+            ingest_queue: 64,
+            query_queue: 64,
+            default_deadline: None,
+            ..FrontendConfig::default()
+        },
+    );
+    fe.ingest("setup", "shared", real_input(500, 4, 7)).unwrap();
+
+    let barrier = Barrier::new(CLIENTS);
+    std::thread::scope(|scope| {
+        for t in 0..CLIENTS {
+            let fe = &fe;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let client = format!("c{}", t);
+                barrier.wait();
+                for i in 0..QUERIES_PER_CLIENT {
+                    let tag = match i % 3 {
+                        0 => Some(Tag::protein()),
+                        1 => Some(Tag::misc()),
+                        _ => None,
+                    };
+                    fe.query(&client, "shared", tag.as_ref()).unwrap();
+                }
+            });
+        }
+    });
+
+    let traces = fe.flight_recorder().recent();
+    let requests: Vec<&Arc<Trace>> = traces
+        .iter()
+        .filter(|t| t.op == "frontend.request")
+        .collect();
+    // Setup ingest + every client query minted exactly one root each.
+    assert_eq!(
+        requests.len(),
+        1 + CLIENTS * QUERIES_PER_CLIENT,
+        "one trace per admitted request"
+    );
+
+    let mut queue_waits = 0usize;
+    for t in &requests {
+        assert_tree_invariants(t);
+        assert!(!t.is_flagged(), "all requests succeeded: {:?}", t.flag);
+        // The admission root carries the op and client names.
+        let root = t.root().unwrap();
+        assert!(arg(root, "op").is_some() && arg(root, "client").is_some());
+        // The scheduler's queue wait and the slot-held execute span are
+        // both children of the root.
+        queue_waits += t
+            .spans
+            .iter()
+            .filter(|s| s.name == "frontend.queue_wait")
+            .count();
+        let exec = t
+            .spans
+            .iter()
+            .find(|s| s.name == "frontend.execute")
+            .expect("admitted request has an execute span");
+        assert_eq!(exec.parent, Some(root.id));
+        // The middleware facade span sits under execute, and the query
+        // traces reach the per-dropping decode stage recorded on worker
+        // threads.
+        if matches!(arg(root, "op"), Some(ArgValue::Str(op)) if op == "query") {
+            let facade = t
+                .spans
+                .iter()
+                .find(|s| s.name == "ada.query")
+                .expect("query trace reaches the facade");
+            assert_eq!(facade.parent, Some(exec.id));
+            assert!(
+                t.spans.iter().any(|s| s.name == "query.read"),
+                "query trace records backend reads"
+            );
+            assert!(
+                t.spans.iter().any(|s| s.name == "query.reassemble"),
+                "query trace records reassembly"
+            );
+            // Spans recorded off the worker that minted the root prove
+            // the context crossed a thread boundary.
+            let root_thread = &root.thread;
+            assert!(
+                t.spans.iter().any(|s| &s.thread != root_thread),
+                "trace {:x} never left the admission thread",
+                t.id
+            );
+        }
+    }
+    assert_eq!(
+        queue_waits,
+        1 + CLIENTS * QUERIES_PER_CLIENT,
+        "every admitted request records exactly one queue wait"
+    );
+
+    // The registry snapshot embeds flight-recorder summaries.
+    let snap = ada_telemetry::snapshot_with_traces();
+    let recent = snap
+        .field("traces")
+        .and_then(|t| t.field("recent"))
+        .and_then(|r| r.as_arr())
+        .expect("snapshot embeds trace summaries");
+    assert!(recent.len() >= requests.len());
+}
+
+/// An errored request (unknown dataset) still produces a full trace,
+/// flagged with the error kind and retained by the flight recorder.
+#[test]
+fn errored_request_trace_is_flagged_and_retained() {
+    let _g = serialize();
+    trace::set_tracing(true);
+    trace::recorder().clear();
+
+    let fe = Frontend::new(make_ada(), FrontendConfig::default());
+    let err = fe.query("c0", "no-such-dataset", None).unwrap_err();
+    assert_eq!(err.kind(), "unknown_dataset");
+
+    let retained = fe.flight_recorder().retained();
+    let t = retained
+        .iter()
+        .find(|t| t.flag.as_deref() == Some("error:unknown_dataset"))
+        .expect("errored trace retained");
+    assert_tree_invariants(t);
+    assert_eq!(t.root().unwrap().error.as_deref(), Some("unknown_dataset"));
+    // The facade span that observed the failure carries the kind too.
+    let facade = t.spans.iter().find(|s| s.name == "ada.query").unwrap();
+    assert_eq!(facade.error.as_deref(), Some("unknown_dataset"));
+}
+
+/// A queued deadline miss produces a flagged trace whose queue-wait span
+/// records how long it waited, the deadline, and the observed depth.
+#[test]
+fn expired_request_trace_records_wait_and_depth() {
+    let _g = serialize();
+    trace::set_tracing(true);
+    trace::recorder().clear();
+
+    let fe = Frontend::new(make_ada(), FrontendConfig::default());
+    fe.ingest("setup", "d", real_input(300, 2, 3)).unwrap();
+    // 1 ns is always in the past by the time a worker pops.
+    let err = fe
+        .submit(
+            "c0",
+            Request::Query {
+                dataset: "d".into(),
+                tag: None,
+            },
+            Some(Duration::from_nanos(1)),
+        )
+        .unwrap_err();
+    assert!(matches!(err, AdaError::DeadlineExceeded { .. }));
+
+    let retained = fe.flight_recorder().retained();
+    let t = retained
+        .iter()
+        .find(|t| t.flag.as_deref() == Some("error:deadline_exceeded"))
+        .expect("expired trace retained");
+    assert_tree_invariants(t);
+    let wait = t
+        .spans
+        .iter()
+        .find(|s| s.name == "frontend.queue_wait")
+        .expect("expired request still records its queue wait");
+    for key in ["waited_ns", "deadline_ns", "queue_depth"] {
+        assert!(
+            arg(wait, key).is_some(),
+            "queue_wait span missing arg {}",
+            key
+        );
+    }
+    assert!(
+        !t.spans.iter().any(|s| s.name == "frontend.execute"),
+        "an expired request never executes"
+    );
+}
+
+/// Shed requests (typed `Overloaded`) leave flagged traces whose root
+/// records the observed queue depth and the retry hint handed back to
+/// the client. Contention needs overlapping clients, so the scenario is
+/// retried like the tier-1 thundering-herd test.
+#[test]
+fn shed_request_trace_records_depth_and_retry_hint() {
+    const CLIENTS: usize = 8;
+    let _g = serialize();
+    trace::set_tracing(true);
+    for attempt in 0..5 {
+        trace::recorder().clear();
+        let fe = Frontend::new(
+            make_ada(),
+            FrontendConfig {
+                ingest_slots: 1,
+                query_slots: 1,
+                ingest_queue: 1,
+                query_queue: 1,
+                default_deadline: None,
+                ..FrontendConfig::default()
+            },
+        );
+        fe.ingest("setup", "big", real_input(2500, 8, 11)).unwrap();
+
+        let barrier = Barrier::new(CLIENTS);
+        let mut shed = 0u64;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..CLIENTS {
+                let fe = &fe;
+                let barrier = &barrier;
+                handles.push(scope.spawn(move || {
+                    barrier.wait();
+                    fe.query(&format!("c{}", t), "big", None)
+                }));
+            }
+            for h in handles {
+                if let Err(AdaError::Overloaded { .. }) =
+                    h.join().expect("client thread must not panic")
+                {
+                    shed += 1;
+                }
+            }
+        });
+        if shed == 0 {
+            eprintln!("attempt {}: herd fully serialized, retrying", attempt);
+            continue;
+        }
+
+        let flagged: Vec<Arc<Trace>> = fe
+            .flight_recorder()
+            .retained()
+            .into_iter()
+            .filter(|t| t.flag.as_deref() == Some("error:overloaded"))
+            .collect();
+        assert_eq!(flagged.len() as u64, shed, "every shed request is retained");
+        for t in &flagged {
+            assert_tree_invariants(t);
+            let root = t.root().unwrap();
+            assert_eq!(root.error.as_deref(), Some("overloaded"));
+            match arg(root, "queue_depth") {
+                Some(ArgValue::U64(d)) => assert!(*d >= 1),
+                other => panic!("missing queue_depth arg: {:?}", other),
+            }
+            match arg(root, "retry_after_ns") {
+                Some(ArgValue::U64(ns)) => assert!(*ns > 0),
+                other => panic!("missing retry_after_ns arg: {:?}", other),
+            }
+        }
+        return;
+    }
+    panic!("8 clients through a 1-slot/1-deep queue never overlapped in 5 attempts");
+}
+
+/// Tracing must be side-effect-free: the same ingest+query sequence with
+/// tracing on and off returns byte-identical data.
+#[test]
+fn tracing_toggle_leaves_query_bytes_identical() {
+    let _g = serialize();
+
+    let run = |tracing_on: bool| -> Vec<u8> {
+        trace::set_tracing(tracing_on);
+        let ada = make_ada();
+        ada.ingest("d", real_input(600, 3, 42)).unwrap();
+        let report = ada.query("d", Some(&Tag::protein())).unwrap();
+        match report.data {
+            RetrievedData::Real(traj) => {
+                ada_mdformats::xtc::write_xtc(&traj, ada_mdformats::xtc::DEFAULT_PRECISION).unwrap()
+            }
+            other => panic!("expected real data, got {:?}", other),
+        }
+    };
+
+    let with_tracing = run(true);
+    let without_tracing = run(false);
+    trace::set_tracing(true);
+    assert_eq!(
+        with_tracing, without_tracing,
+        "tracing on/off changed query bytes"
+    );
+}
