@@ -1461,6 +1461,7 @@ fn bench_sampling() {
         ]));
         let config = AdaConfig {
             frames_per_dropping: 64, // 512 frames → 8 droppings per tag
+            chunk_frames: 16,        // 4 chunks per dropping: windows decode partially
             cache: ada_cache::CacheConfig {
                 capacity_bytes: budget,
                 shards: 4,
@@ -1615,6 +1616,7 @@ fn bench_sampling() {
                 ("nframes", Value::num_u(w.trajectory.len() as u64)),
                 ("raw_bytes", Value::num_u(w.trajectory.nbytes() as u64)),
                 ("frames_per_dropping", Value::num_u(64)),
+                ("chunk_frames", Value::num_u(16)),
             ]),
         ),
         (

@@ -124,21 +124,133 @@ impl CacheKey {
     }
 }
 
-/// A decoded dropping: the frame payload plus the atom count that was
-/// validated once at decode time. Hits reuse the stored count instead of
-/// re-walking every frame (one validation per dropping, not per lookup).
+/// A decoded dropping held at chunk granularity (XTCF v2's unit of random
+/// access): the dropping's chunk layout (frame count per chunk) plus
+/// whichever chunks are actually resident. v1 droppings and whole decodes
+/// are a single complete chunk. Keys stay per-dropping, but a partial
+/// window admits only the chunks it touched — cold chunks never occupy
+/// budget, and a later read that needs more chunks re-inserts a richer
+/// payload (see [`DecodedCache::insert`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecodedDropping {
-    /// Decoded frames, in logical order within the dropping.
-    pub frames: Vec<Frame>,
     /// Atom count validated against the label file when decoded.
     pub natoms: usize,
+    /// Frame count of each chunk, in dropping order (the full layout,
+    /// resident or not).
+    chunk_nframes: Vec<u32>,
+    /// Resident chunks, parallel to `chunk_nframes`; `None` = not decoded.
+    chunks: Vec<Option<Arc<Vec<Frame>>>>,
 }
 
 impl DecodedDropping {
-    /// Resident cost of this payload in bytes.
+    /// A fully resident single-chunk payload (v1 droppings, whole
+    /// decodes).
+    pub fn complete(frames: Vec<Frame>, natoms: usize) -> DecodedDropping {
+        let n = frames.len() as u32;
+        DecodedDropping {
+            natoms,
+            chunk_nframes: vec![n],
+            chunks: vec![Some(Arc::new(frames))],
+        }
+    }
+
+    /// A payload with the given chunk layout and residency. `chunks` must
+    /// be parallel to `chunk_nframes` and each resident chunk must hold
+    /// exactly its declared frame count.
+    pub fn from_chunks(
+        chunk_nframes: Vec<u32>,
+        chunks: Vec<Option<Arc<Vec<Frame>>>>,
+        natoms: usize,
+    ) -> DecodedDropping {
+        debug_assert_eq!(chunk_nframes.len(), chunks.len());
+        DecodedDropping {
+            natoms,
+            chunk_nframes,
+            chunks,
+        }
+    }
+
+    /// Number of chunks in the dropping's layout.
+    pub fn nchunks(&self) -> usize {
+        self.chunk_nframes.len()
+    }
+
+    /// Total frames across the layout (resident or not).
+    pub fn nframes(&self) -> usize {
+        self.chunk_nframes.iter().map(|&n| n as usize).sum()
+    }
+
+    /// The resident frames of chunk `i`, if decoded.
+    pub fn chunk(&self, i: usize) -> Option<&Arc<Vec<Frame>>> {
+        self.chunks.get(i).and_then(|c| c.as_ref())
+    }
+
+    /// The chunk layout (frame count per chunk).
+    pub fn chunk_layout(&self) -> &[u32] {
+        &self.chunk_nframes
+    }
+
+    /// True when every chunk is resident.
+    pub fn is_complete(&self) -> bool {
+        self.chunks.iter().all(|c| c.is_some())
+    }
+
+    /// Chunk index and offset-within-chunk of dropping-local frame
+    /// `local`, if inside the layout.
+    pub fn locate(&self, local: usize) -> Option<(usize, usize)> {
+        let mut at = 0usize;
+        for (i, &n) in self.chunk_nframes.iter().enumerate() {
+            let n = n as usize;
+            if local < at + n {
+                return Some((i, local - at));
+            }
+            at += n;
+        }
+        None
+    }
+
+    /// Dropping-local frame `local`, if its chunk is resident.
+    pub fn frame(&self, local: usize) -> Option<&Frame> {
+        let (c, off) = self.locate(local)?;
+        self.chunks[c].as_ref()?.get(off)
+    }
+
+    /// True when every listed dropping-local frame is resident.
+    pub fn has_frames(&self, locals: &[usize]) -> bool {
+        locals.iter().all(|&l| self.frame(l).is_some())
+    }
+
+    /// All frames in dropping order, consuming the payload; `None` if any
+    /// chunk is missing.
+    pub fn into_frames(self) -> Option<Vec<Frame>> {
+        let mut out = Vec::with_capacity(self.nframes());
+        for c in self.chunks {
+            match Arc::try_unwrap(c?) {
+                Ok(v) => out.extend(v),
+                Err(shared) => out.extend(shared.iter().cloned()),
+            }
+        }
+        Some(out)
+    }
+
+    /// All frames in dropping order, cloned; `None` if any chunk is
+    /// missing.
+    pub fn cloned_frames(&self) -> Option<Vec<Frame>> {
+        let mut out = Vec::with_capacity(self.nframes());
+        for c in &self.chunks {
+            out.extend(c.as_ref()?.iter().cloned());
+        }
+        Some(out)
+    }
+
+    /// Resident cost of this payload in bytes (only decoded chunks count).
     pub fn cost(&self) -> u64 {
-        self.frames.iter().map(|f| f.nbytes() as u64).sum()
+        self.chunks
+            .iter()
+            .flatten()
+            .flat_map(|c| c.iter())
+            .map(|f| f.nbytes() as u64)
+            .sum()
     }
 }
 
@@ -416,10 +528,23 @@ impl DecodedCache {
         let evicted = {
             let mut shard = self.shard_for(&key).lock();
             if let Some(idx) = shard.map.get(&key).copied() {
-                if let Some(slot) = shard.slots[idx].as_mut() {
-                    // Same key ⇒ same bytes; just refresh the clock bit.
-                    slot.referenced = true;
-                    return Admission::Admitted;
+                let existing_cost = shard.slots[idx].as_ref().map_or(0, |s| s.cost);
+                if cost <= existing_cost {
+                    if let Some(slot) = shard.slots[idx].as_mut() {
+                        // Same key ⇒ same bytes, and the resident entry is
+                        // at least as chunk-rich; just refresh the clock
+                        // bit.
+                        slot.referenced = true;
+                        return Admission::Admitted;
+                    }
+                }
+                // The offered payload carries more resident chunks than
+                // the stored one (a partial window grew): upgrade in
+                // place, re-running eviction for the size difference.
+                if let Some(old) = shard.slots[idx].take() {
+                    shard.map.remove(&old.key);
+                    shard.resident -= old.cost;
+                    shard.free.push(idx);
                 }
             }
             let evicted = shard.make_room(cost, self.shard_budget);
@@ -526,10 +651,10 @@ mod tests {
     }
 
     fn payload(natoms: usize, nframes: usize, fill: f32) -> Arc<DecodedDropping> {
-        Arc::new(DecodedDropping {
-            frames: (0..nframes).map(|_| frame(natoms, fill)).collect(),
+        Arc::new(DecodedDropping::complete(
+            (0..nframes).map(|_| frame(natoms, fill)).collect(),
             natoms,
-        })
+        ))
     }
 
     fn hot_cache(capacity: u64, shards: usize) -> DecodedCache {
@@ -673,6 +798,54 @@ mod tests {
         assert_eq!(stats.resident_hwm, cost * 2);
     }
 
+    /// A two-chunk payload with only the given chunks resident.
+    fn partial(natoms: usize, resident: &[bool], fill: f32) -> Arc<DecodedDropping> {
+        let chunks = resident
+            .iter()
+            .map(|&r| r.then(|| Arc::new(vec![frame(natoms, fill), frame(natoms, fill)])))
+            .collect();
+        Arc::new(DecodedDropping::from_chunks(
+            vec![2; resident.len()],
+            chunks,
+            natoms,
+        ))
+    }
+
+    #[test]
+    fn partial_payloads_cost_only_resident_chunks() {
+        let half = partial(8, &[true, false], 0.0);
+        let full = partial(8, &[true, true], 0.0);
+        assert_eq!(half.cost() * 2, full.cost());
+        assert!(!half.is_complete());
+        assert!(full.is_complete());
+        assert_eq!(half.nframes(), 4);
+        // Frame lookup respects residency.
+        assert!(half.frame(1).is_some());
+        assert!(half.frame(2).is_none());
+        assert!(half.has_frames(&[0, 1]));
+        assert!(!half.has_frames(&[0, 3]));
+        assert!(half.cloned_frames().is_none());
+        assert_eq!(full.cloned_frames().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn richer_payload_upgrades_the_resident_entry() {
+        let cache = hot_cache(1 << 20, 1);
+        let key = CacheKey::new("ds", "t", 0);
+        let half = partial(8, &[true, false], 0.5);
+        assert_eq!(cache.insert(key.clone(), &half, 9), Admission::Admitted);
+        assert_eq!(cache.resident_bytes(), half.cost());
+        // A full payload for the same key replaces the partial one.
+        let full = partial(8, &[true, true], 0.5);
+        assert_eq!(cache.insert(key.clone(), &full, 9), Admission::Admitted);
+        assert_eq!(cache.resident_bytes(), full.cost());
+        assert!(cache.get(&key).unwrap().is_complete());
+        // Re-offering the poorer payload does not downgrade.
+        assert_eq!(cache.insert(key.clone(), &half, 9), Admission::Admitted);
+        assert!(cache.get(&key).unwrap().is_complete());
+        assert_eq!(cache.len(), 1);
+    }
+
     #[test]
     fn shard_hash_is_deterministic() {
         let a = CacheKey::new("ds", "protein", 7).shard_hash();
@@ -689,8 +862,8 @@ mod props {
     use proptest::prelude::*;
 
     fn payload_of(natoms: usize, nframes: usize, fill: f32) -> Arc<DecodedDropping> {
-        Arc::new(DecodedDropping {
-            frames: (0..nframes)
+        Arc::new(DecodedDropping::complete(
+            (0..nframes)
                 .map(|i| {
                     let mut f = Frame::from_coords(vec![[fill, fill + i as f32, fill]; natoms]);
                     f.step = i as i32;
@@ -698,7 +871,7 @@ mod props {
                 })
                 .collect(),
             natoms,
-        })
+        ))
     }
 
     proptest! {

@@ -105,10 +105,27 @@ impl Determinator {
         tag: &Tag,
         content: Content,
     ) -> Result<(String, SimDuration), PlfsError> {
+        self.dispatch_frames(logical, tag, content, 0)
+    }
+
+    /// [`Determinator::dispatch`] with the dropping's decoded frame count
+    /// recorded in its index record (`0` = unknown), so range reads map
+    /// frames to droppings straight from the index.
+    pub fn dispatch_frames(
+        &self,
+        logical: &str,
+        tag: &Tag,
+        content: Content,
+        frames: u64,
+    ) -> Result<(String, SimDuration), PlfsError> {
         let backend = self.policy.backend_for(tag).to_string();
-        let d = self
-            .containers
-            .append_tagged(logical, tag.as_str(), &backend, content)?;
+        let d = self.containers.append_tagged_frames(
+            logical,
+            tag.as_str(),
+            &backend,
+            content,
+            frames,
+        )?;
         Ok((backend, d))
     }
 

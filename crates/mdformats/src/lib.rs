@@ -46,6 +46,14 @@ pub enum FormatError {
     Corrupt(String),
     /// A value fell outside what the format can represent.
     OutOfRange(String),
+    /// Corruption localized to one chunk of a chunked (XTCF v2) file —
+    /// checksum mismatch, bad directory entry, or broken records.
+    ChunkCorrupt {
+        /// Zero-based chunk index within the file.
+        chunk: usize,
+        /// What was wrong with it.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for FormatError {
@@ -54,6 +62,9 @@ impl std::fmt::Display for FormatError {
             FormatError::UnexpectedEof => write!(f, "unexpected end of input"),
             FormatError::Corrupt(m) => write!(f, "corrupt data: {}", m),
             FormatError::OutOfRange(m) => write!(f, "value out of range: {}", m),
+            FormatError::ChunkCorrupt { chunk, detail } => {
+                write!(f, "corrupt chunk {}: {}", chunk, detail)
+            }
         }
     }
 }

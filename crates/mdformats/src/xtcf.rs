@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! magic   u32      == 0x41444146 ("ADAF")
-//! version u32      == 1
+//! version u32      == 1 or 2
 //! per frame:
 //!   step  i32
 //!   time  f32
@@ -19,6 +19,30 @@
 //!
 //! Unlike XTC this format is bit-exact (no quantization) and trivially
 //! seekable: every frame of a file has the same length.
+//!
+//! **Version 2** keeps the v1 frame records byte-identical and appends a
+//! self-describing chunk directory after the body, so range reads can
+//! decode only the chunks they touch and verify each chunk's integrity:
+//!
+//! ```text
+//! header      (v1 layout, version == 2)
+//! body        v1 frame records, grouped into fixed frame-count chunks
+//! directory   per chunk, 20 bytes:
+//!   offset  u64   absolute byte offset of the chunk's first record
+//!   nframes u32   frames in this chunk (never zero)
+//!   natoms  u32   atom count (uniform across chunks)
+//!   crc     u32   IEEE CRC-32 of the chunk's body bytes
+//! trailer     12 bytes at the file end:
+//!   nchunks      u32
+//!   chunk_frames u32   the nominal chunk size the file was sealed with
+//!   magic        u32   == XTCF_FOOTER_MAGIC
+//! ```
+//!
+//! [`XtcfReader`] auto-detects the version: v1 files decode exactly as
+//! before, and v2 files stream their body transparently (the directory is
+//! parsed up front, so streaming stops at the directory; streaming reads
+//! do *not* verify chunk CRCs — use [`decode_chunk`] for verified
+//! random access).
 
 use crate::traj::{Frame, Trajectory};
 use crate::FormatError;
@@ -26,19 +50,59 @@ use ada_mdmodel::PbcBox;
 
 /// XTCF magic bytes ("ADAF" as a little-endian u32).
 pub const XTCF_MAGIC: u32 = 0x4144_4146;
-/// Current format version.
+/// Version 1: a bare stream of frame records.
 pub const XTCF_VERSION: u32 = 1;
+/// Version 2: v1 body plus a chunk directory and trailer.
+pub const XTCF_VERSION_V2: u32 = 2;
 /// File header length in bytes.
 pub const XTCF_HEADER_LEN: usize = 8;
+/// Trailer magic sealing a v2 chunk directory ("ADCF" little-endian).
+pub const XTCF_FOOTER_MAGIC: u32 = 0x4144_4346;
+/// Size of one v2 chunk-directory entry in bytes.
+pub const XTCF_DIR_ENTRY_LEN: usize = 20;
+/// Size of the v2 trailer in bytes.
+pub const XTCF_TRAILER_LEN: usize = 12;
 
-/// Per-frame record length for `natoms`.
+/// Per-frame record length for `natoms` (saturating: an impossible shape
+/// yields `usize::MAX` instead of wrapping).
 pub fn frame_record_len(natoms: usize) -> usize {
-    4 + 4 + 36 + 4 + natoms * 12
+    (4usize + 4 + 36 + 4).saturating_add(natoms.saturating_mul(12))
 }
 
-/// Total encoded size for a trajectory of `nframes` × `natoms`.
+/// Total encoded v1 size for a trajectory of `nframes` × `natoms`
+/// (saturating: adversarial shapes yield `usize::MAX` instead of
+/// wrapping to a small, wrong size).
 pub fn encoded_len(nframes: usize, natoms: usize) -> usize {
-    XTCF_HEADER_LEN + nframes * frame_record_len(natoms)
+    XTCF_HEADER_LEN.saturating_add(nframes.saturating_mul(frame_record_len(natoms)))
+}
+
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 (the zlib/PNG polynomial) — used for chunk checksums.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
 }
 
 /// Streaming XTCF writer.
@@ -64,7 +128,15 @@ impl XtcfWriter {
     /// (see [`encoded_len`]), so encoding a subset of known shape never
     /// re-allocates.
     pub fn with_capacity(nframes: usize, natoms: usize) -> XtcfWriter {
-        XtcfWriter::with_buf(Vec::with_capacity(encoded_len(nframes, natoms)))
+        let cap = encoded_len(nframes, natoms);
+        // A saturated size means the shape cannot exist in memory anyway;
+        // grow on demand instead of attempting a doomed huge reservation.
+        let buf = if cap == usize::MAX {
+            Vec::new()
+        } else {
+            Vec::with_capacity(cap)
+        };
+        XtcfWriter::with_buf(buf)
     }
 
     fn with_buf(mut buf: Vec<u8>) -> XtcfWriter {
@@ -145,35 +217,65 @@ fn le_bytes4(b: &[u8]) -> [u8; 4] {
     [b[0], b[1], b[2], b[3]]
 }
 
-/// Streaming XTCF reader.
+/// Streaming XTCF reader. Auto-detects the file version: v2 files stream
+/// their body exactly like v1 (the chunk directory is parsed up front and
+/// never surfaces as frames).
 #[derive(Debug)]
 pub struct XtcfReader<'a> {
     data: &'a [u8],
     pos: usize,
+    /// End of the frame-record body (`data.len()` for v1, the directory
+    /// start for v2).
+    body_end: usize,
+    version: u32,
+    directory: Option<ChunkDirectory>,
 }
 
 impl<'a> XtcfReader<'a> {
-    /// Validate the header and position at the first frame.
+    /// Validate the header (and, for v2, the chunk directory) and position
+    /// at the first frame.
     pub fn new(data: &'a [u8]) -> Result<XtcfReader<'a>, FormatError> {
-        if data.len() < XTCF_HEADER_LEN {
-            return Err(FormatError::UnexpectedEof);
-        }
-        let magic = u32::from_le_bytes(le_bytes4(&data[0..4]));
-        if magic != XTCF_MAGIC {
-            return Err(FormatError::Corrupt(format!("bad magic {:#x}", magic)));
-        }
-        let version = u32::from_le_bytes(le_bytes4(&data[4..8]));
-        if version != XTCF_VERSION {
-            return Err(FormatError::Corrupt(format!("bad version {}", version)));
-        }
+        let directory = parse_directory(data)?;
+        let (version, body_end) = match &directory {
+            None => (XTCF_VERSION, data.len()),
+            Some(dir) => (
+                XTCF_VERSION_V2,
+                data.len() - XTCF_TRAILER_LEN - dir.nchunks() * XTCF_DIR_ENTRY_LEN,
+            ),
+        };
         Ok(XtcfReader {
             data,
             pos: XTCF_HEADER_LEN,
+            body_end,
+            version,
+            directory,
         })
     }
 
+    /// Raw cursor over a record span the caller has already bounds-checked
+    /// (chunk decoding).
+    fn at(data: &'a [u8], pos: usize, body_end: usize) -> XtcfReader<'a> {
+        XtcfReader {
+            data,
+            pos,
+            body_end,
+            version: XTCF_VERSION_V2,
+            directory: None,
+        }
+    }
+
+    /// The detected format version (1 or 2).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The chunk directory, for v2 files.
+    pub fn directory(&self) -> Option<&ChunkDirectory> {
+        self.directory.as_ref()
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], FormatError> {
-        if self.data.len() - self.pos < n {
+        if self.body_end - self.pos < n {
             return Err(FormatError::UnexpectedEof);
         }
         let s = &self.data[self.pos..self.pos + n];
@@ -183,7 +285,7 @@ impl<'a> XtcfReader<'a> {
 
     /// Read the next frame, `Ok(None)` at a clean end.
     pub fn next_frame(&mut self) -> Result<Option<Frame>, FormatError> {
-        if self.pos == self.data.len() {
+        if self.pos == self.body_end {
             return Ok(None);
         }
         let step = i32::from_le_bytes(le_bytes4(self.take(4)?));
@@ -195,7 +297,20 @@ impl<'a> XtcfReader<'a> {
             }
         }
         let n = u32::from_le_bytes(le_bytes4(self.take(4)?)) as usize;
-        let body = self.take(n * 12)?;
+        // The atom count is untrusted on-disk input: bound it against the
+        // remaining bytes before sizing any allocation, and multiply
+        // checked so 32-bit targets cannot wrap into a short slice.
+        let remaining = self.body_end - self.pos;
+        let need = match n.checked_mul(12) {
+            Some(need) if need <= remaining => need,
+            _ => {
+                return Err(FormatError::Corrupt(format!(
+                    "frame atom count {} overruns the remaining {} bytes",
+                    n, remaining
+                )))
+            }
+        };
+        let body = self.take(need)?;
         let mut coords = Vec::with_capacity(n);
         for chunk in body.chunks_exact(12) {
             coords.push([
@@ -211,6 +326,293 @@ impl<'a> XtcfReader<'a> {
             coords,
         }))
     }
+}
+
+/// One v2 chunk-directory entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Absolute byte offset of the chunk's first frame record.
+    pub offset: u64,
+    /// Frames in this chunk (never zero in a valid file).
+    pub nframes: u32,
+    /// Atom count (uniform across a file's chunks).
+    pub natoms: u32,
+    /// IEEE CRC-32 of the chunk's body bytes.
+    pub crc: u32,
+}
+
+/// The parsed chunk directory of a v2 file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkDirectory {
+    /// Directory entries, in body order.
+    pub entries: Vec<ChunkEntry>,
+    /// The nominal chunk size (frames) the file was sealed with.
+    pub chunk_frames: u32,
+}
+
+impl ChunkDirectory {
+    /// Number of chunks.
+    pub fn nchunks(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total frames across all chunks.
+    pub fn nframes(&self) -> usize {
+        self.entries.iter().map(|e| e.nframes as usize).sum()
+    }
+
+    /// Per-chunk frame counts, in body order.
+    pub fn chunk_nframes(&self) -> Vec<u32> {
+        self.entries.iter().map(|e| e.nframes).collect()
+    }
+
+    /// The chunk holding file-local frame index `local`, if in range.
+    pub fn chunk_of_frame(&self, local: usize) -> Option<usize> {
+        let mut at = 0usize;
+        for (i, e) in self.entries.iter().enumerate() {
+            at += e.nframes as usize;
+            if local < at {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// The `[start, end)` file-local frame span of chunk `chunk`.
+    pub fn frame_span(&self, chunk: usize) -> Option<(usize, usize)> {
+        if chunk >= self.entries.len() {
+            return None;
+        }
+        let start: usize = self.entries[..chunk]
+            .iter()
+            .map(|e| e.nframes as usize)
+            .sum();
+        Some((start, start + self.entries[chunk].nframes as usize))
+    }
+}
+
+/// Parse a file's chunk directory. `Ok(None)` means a valid v1 header (no
+/// directory); `Ok(Some(..))` a validated v2 directory; unknown versions
+/// and structurally broken directories are `Err`.
+pub fn parse_directory(data: &[u8]) -> Result<Option<ChunkDirectory>, FormatError> {
+    if data.len() < XTCF_HEADER_LEN {
+        return Err(FormatError::UnexpectedEof);
+    }
+    let magic = u32::from_le_bytes(le_bytes4(&data[0..4]));
+    if magic != XTCF_MAGIC {
+        return Err(FormatError::Corrupt(format!("bad magic {:#x}", magic)));
+    }
+    let version = u32::from_le_bytes(le_bytes4(&data[4..8]));
+    if version == XTCF_VERSION {
+        return Ok(None);
+    }
+    if version != XTCF_VERSION_V2 {
+        return Err(FormatError::Corrupt(format!("bad version {}", version)));
+    }
+    if data.len() < XTCF_HEADER_LEN + XTCF_TRAILER_LEN {
+        return Err(FormatError::Corrupt(format!(
+            "v2 file of {} bytes cannot hold a trailer",
+            data.len()
+        )));
+    }
+    let t = data.len() - XTCF_TRAILER_LEN;
+    let nchunks = u32::from_le_bytes(le_bytes4(&data[t..t + 4])) as usize;
+    let chunk_frames = u32::from_le_bytes(le_bytes4(&data[t + 4..t + 8]));
+    let footer = u32::from_le_bytes(le_bytes4(&data[t + 8..t + 12]));
+    if footer != XTCF_FOOTER_MAGIC {
+        return Err(FormatError::Corrupt(format!(
+            "bad footer magic {:#x}",
+            footer
+        )));
+    }
+    let dir_start = nchunks
+        .checked_mul(XTCF_DIR_ENTRY_LEN)
+        .and_then(|len| t.checked_sub(len))
+        .filter(|&s| s >= XTCF_HEADER_LEN)
+        .ok_or_else(|| {
+            FormatError::Corrupt(format!("truncated chunk directory ({} entries)", nchunks))
+        })?;
+    let mut entries: Vec<ChunkEntry> = Vec::with_capacity(nchunks);
+    let mut expect = XTCF_HEADER_LEN as u64;
+    for i in 0..nchunks {
+        let at = dir_start + i * XTCF_DIR_ENTRY_LEN;
+        let e = ChunkEntry {
+            offset: u64::from_le_bytes([
+                data[at],
+                data[at + 1],
+                data[at + 2],
+                data[at + 3],
+                data[at + 4],
+                data[at + 5],
+                data[at + 6],
+                data[at + 7],
+            ]),
+            nframes: u32::from_le_bytes(le_bytes4(&data[at + 8..at + 12])),
+            natoms: u32::from_le_bytes(le_bytes4(&data[at + 12..at + 16])),
+            crc: u32::from_le_bytes(le_bytes4(&data[at + 16..at + 20])),
+        };
+        if e.nframes == 0 {
+            return Err(FormatError::ChunkCorrupt {
+                chunk: i,
+                detail: "chunk declares zero frames".to_string(),
+            });
+        }
+        if e.offset != expect {
+            return Err(FormatError::ChunkCorrupt {
+                chunk: i,
+                detail: format!(
+                    "chunk offset {} out of place (expected {})",
+                    e.offset, expect
+                ),
+            });
+        }
+        if i > 0 && e.natoms != entries[0].natoms {
+            return Err(FormatError::ChunkCorrupt {
+                chunk: i,
+                detail: format!(
+                    "chunk atom count {} != file atom count {}",
+                    e.natoms, entries[0].natoms
+                ),
+            });
+        }
+        expect += e.nframes as u64 * frame_record_len(e.natoms as usize) as u64;
+        entries.push(e);
+    }
+    if expect != dir_start as u64 {
+        return Err(FormatError::Corrupt(format!(
+            "chunk directory covers {} body bytes, file holds {}",
+            expect - XTCF_HEADER_LEN as u64,
+            dir_start - XTCF_HEADER_LEN
+        )));
+    }
+    Ok(Some(ChunkDirectory {
+        entries,
+        chunk_frames,
+    }))
+}
+
+/// Seal a v1 byte stream of `natoms`-atom frames into a v2 chunked
+/// container with at most `chunk_frames` frames per chunk (`0` means one
+/// single chunk). The frame records are left byte-identical; only the
+/// version field flips and a directory + trailer are appended.
+pub fn seal_v2(
+    mut payload: Vec<u8>,
+    natoms: usize,
+    chunk_frames: usize,
+) -> Result<Vec<u8>, FormatError> {
+    if payload.len() < XTCF_HEADER_LEN {
+        return Err(FormatError::UnexpectedEof);
+    }
+    let magic = u32::from_le_bytes(le_bytes4(&payload[0..4]));
+    if magic != XTCF_MAGIC {
+        return Err(FormatError::Corrupt(format!("bad magic {:#x}", magic)));
+    }
+    let version = u32::from_le_bytes(le_bytes4(&payload[4..8]));
+    if version != XTCF_VERSION {
+        return Err(FormatError::Corrupt(format!(
+            "can only seal a v1 stream, got version {}",
+            version
+        )));
+    }
+    let record = frame_record_len(natoms);
+    let body = payload.len() - XTCF_HEADER_LEN;
+    if !body.is_multiple_of(record) {
+        return Err(FormatError::Corrupt(format!(
+            "body of {} bytes is not a multiple of the {}-byte record for {} atoms",
+            body, record, natoms
+        )));
+    }
+    let nframes = body / record;
+    let per_chunk = if chunk_frames == 0 {
+        nframes.max(1)
+    } else {
+        chunk_frames
+    };
+    payload[4..8].copy_from_slice(&XTCF_VERSION_V2.to_le_bytes());
+    let nchunks = nframes.div_ceil(per_chunk);
+    payload.reserve(nchunks * XTCF_DIR_ENTRY_LEN + XTCF_TRAILER_LEN);
+    let mut off = XTCF_HEADER_LEN;
+    let mut left = nframes;
+    let mut dir = Vec::with_capacity(nchunks * XTCF_DIR_ENTRY_LEN);
+    while left > 0 {
+        let take = left.min(per_chunk);
+        let len = take * record;
+        let take32 = u32::try_from(take)
+            .map_err(|_| FormatError::OutOfRange(format!("chunk of {} frames", take)))?;
+        dir.extend_from_slice(&(off as u64).to_le_bytes());
+        dir.extend_from_slice(&take32.to_le_bytes());
+        dir.extend_from_slice(&(natoms as u32).to_le_bytes());
+        dir.extend_from_slice(&crc32(&payload[off..off + len]).to_le_bytes());
+        off += len;
+        left -= take;
+    }
+    payload.extend_from_slice(&dir);
+    payload.extend_from_slice(&(nchunks as u32).to_le_bytes());
+    payload.extend_from_slice(&u32::try_from(per_chunk).unwrap_or(u32::MAX).to_le_bytes());
+    payload.extend_from_slice(&XTCF_FOOTER_MAGIC.to_le_bytes());
+    Ok(payload)
+}
+
+/// Decode one chunk of a v2 file with its CRC verified first. Corruption
+/// surfaces as [`FormatError::ChunkCorrupt`] carrying the chunk id.
+pub fn decode_chunk(
+    data: &[u8],
+    dir: &ChunkDirectory,
+    chunk: usize,
+) -> Result<Vec<Frame>, FormatError> {
+    let e = dir.entries.get(chunk).ok_or(FormatError::ChunkCorrupt {
+        chunk,
+        detail: format!("chunk index out of range ({} chunks)", dir.entries.len()),
+    })?;
+    let start = e.offset as usize;
+    let len = (e.nframes as usize).saturating_mul(frame_record_len(e.natoms as usize));
+    let end = start
+        .checked_add(len)
+        .filter(|&end| end <= data.len())
+        .ok_or(FormatError::ChunkCorrupt {
+            chunk,
+            detail: format!(
+                "chunk span {}+{} exceeds the {}-byte file",
+                start,
+                len,
+                data.len()
+            ),
+        })?;
+    let computed = crc32(&data[start..end]);
+    if computed != e.crc {
+        return Err(FormatError::ChunkCorrupt {
+            chunk,
+            detail: format!(
+                "checksum mismatch (stored {:#010x}, computed {:#010x})",
+                e.crc, computed
+            ),
+        });
+    }
+    let mut r = XtcfReader::at(data, start, end);
+    let mut frames = Vec::with_capacity(e.nframes as usize);
+    loop {
+        match r.next_frame() {
+            Ok(Some(f)) => frames.push(f),
+            Ok(None) => break,
+            Err(err) => {
+                return Err(FormatError::ChunkCorrupt {
+                    chunk,
+                    detail: err.to_string(),
+                })
+            }
+        }
+    }
+    if frames.len() != e.nframes as usize {
+        return Err(FormatError::ChunkCorrupt {
+            chunk,
+            detail: format!(
+                "decoded {} frames, directory declares {}",
+                frames.len(),
+                e.nframes
+            ),
+        });
+    }
+    Ok(frames)
 }
 
 /// Encode a whole trajectory.
@@ -326,5 +728,137 @@ mod tests {
         let body = bytes.len() - XTCF_HEADER_LEN;
         assert_eq!(body % frame_record_len(25), 0);
         assert_eq!(body / frame_record_len(25), 4);
+    }
+
+    #[test]
+    fn encoded_len_saturates_instead_of_wrapping() {
+        assert_eq!(frame_record_len(usize::MAX), usize::MAX);
+        assert_eq!(encoded_len(usize::MAX, usize::MAX), usize::MAX);
+        assert_eq!(encoded_len(usize::MAX, 3), usize::MAX);
+        // Sane shapes are unchanged.
+        assert_eq!(
+            encoded_len(4, 25),
+            XTCF_HEADER_LEN + 4 * frame_record_len(25)
+        );
+    }
+
+    #[test]
+    fn with_capacity_survives_adversarial_shapes() {
+        let mut w = XtcfWriter::with_capacity(usize::MAX, usize::MAX);
+        assert!(w.is_empty());
+        w.write_frame(&Frame::from_coords(vec![[1.0; 3]; 2]))
+            .unwrap();
+        let bytes = w.into_bytes();
+        assert_eq!(read_xtcf(&bytes).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn oversized_atom_count_is_corrupt_not_an_allocation() {
+        // Header plus one frame record that claims u32::MAX atoms but
+        // carries a single coordinate row.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&XTCF_MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&XTCF_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&1i32.to_le_bytes());
+        bytes.extend_from_slice(&0.5f32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 36]);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 12]);
+        match read_xtcf(&bytes) {
+            Err(FormatError::Corrupt(m)) => assert!(m.contains("atom count"), "{}", m),
+            other => panic!("expected Corrupt, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn seal_v2_roundtrips_bit_identically() {
+        let t = traj();
+        let v1 = write_xtcf(&t).unwrap();
+        let sealed = seal_v2(v1.clone(), 25, 3).unwrap();
+        // Body bytes untouched, directory appended.
+        assert_eq!(&sealed[XTCF_HEADER_LEN..v1.len()], &v1[XTCF_HEADER_LEN..]);
+        let r = XtcfReader::new(&sealed).unwrap();
+        assert_eq!(r.version(), XTCF_VERSION_V2);
+        let dir = r.directory().unwrap().clone();
+        assert_eq!(dir.nchunks(), 2); // 3 + 1 frames
+        assert_eq!(dir.nframes(), 4);
+        assert_eq!(dir.chunk_frames, 3);
+        assert_eq!(dir.frame_span(1), Some((3, 4)));
+        assert_eq!(dir.chunk_of_frame(3), Some(1));
+        assert_eq!(dir.chunk_of_frame(4), None);
+        // Streaming shim: the v2 file decodes exactly like the v1 stream.
+        assert_eq!(read_xtcf(&sealed).unwrap(), t);
+        // Random access: chunk concatenation equals the frames.
+        let mut frames = Vec::new();
+        for c in 0..dir.nchunks() {
+            frames.extend(decode_chunk(&sealed, &dir, c).unwrap());
+        }
+        assert_eq!(frames, t.frames);
+    }
+
+    #[test]
+    fn seal_v2_zero_frames_has_no_chunks() {
+        let sealed = seal_v2(write_xtcf(&Trajectory::new()).unwrap(), 0, 4).unwrap();
+        let dir = parse_directory(&sealed).unwrap().unwrap();
+        assert_eq!(dir.nchunks(), 0);
+        assert!(read_xtcf(&sealed).unwrap().is_empty());
+    }
+
+    #[test]
+    fn flipped_body_byte_fails_the_chunk_checksum() {
+        let mut sealed = seal_v2(write_xtcf(&traj()).unwrap(), 25, 2).unwrap();
+        let dir = parse_directory(&sealed).unwrap().unwrap();
+        // Flip one coordinate byte inside chunk 1.
+        let off = dir.entries[1].offset as usize + 50;
+        sealed[off] ^= 0xFF;
+        assert!(decode_chunk(&sealed, &dir, 0).is_ok());
+        match decode_chunk(&sealed, &dir, 1) {
+            Err(FormatError::ChunkCorrupt { chunk, detail }) => {
+                assert_eq!(chunk, 1);
+                assert!(detail.contains("checksum"), "{}", detail);
+            }
+            other => panic!("expected ChunkCorrupt, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn truncated_directory_is_corrupt() {
+        let sealed = seal_v2(write_xtcf(&traj()).unwrap(), 25, 2).unwrap();
+        // Cut into the trailer, and into the directory.
+        assert!(parse_directory(&sealed[..sealed.len() - 1]).is_err());
+        assert!(parse_directory(&sealed[..sealed.len() - XTCF_TRAILER_LEN]).is_err());
+        // Drop one directory entry but keep a consistent-looking trailer.
+        let mut cut = sealed[..sealed.len() - XTCF_TRAILER_LEN - XTCF_DIR_ENTRY_LEN].to_vec();
+        cut.extend_from_slice(&sealed[sealed.len() - XTCF_TRAILER_LEN..]);
+        assert!(parse_directory(&cut).is_err());
+    }
+
+    #[test]
+    fn zero_frame_chunk_entry_is_rejected() {
+        // Handcraft: v2 header, empty body, one directory entry declaring
+        // zero frames, trailer saying one chunk.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&XTCF_MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&XTCF_VERSION_V2.to_le_bytes());
+        bytes.extend_from_slice(&(XTCF_HEADER_LEN as u64).to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // nframes == 0
+        bytes.extend_from_slice(&25u32.to_le_bytes());
+        bytes.extend_from_slice(&crc32(&[]).to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(&XTCF_FOOTER_MAGIC.to_le_bytes());
+        match parse_directory(&bytes) {
+            Err(FormatError::ChunkCorrupt { chunk: 0, detail }) => {
+                assert!(detail.contains("zero frames"), "{}", detail)
+            }
+            other => panic!("expected ChunkCorrupt, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 }

@@ -65,6 +65,10 @@ pub struct IndexRecord {
     pub backend: String,
     /// Dropping path on that backend.
     pub dropping_path: String,
+    /// Decoded frame count of the dropping, when the writer knows it
+    /// (XTCF v2 droppings record it so readers map frames to droppings
+    /// without byte arithmetic). `0` means unknown/legacy.
+    pub frames: u64,
 }
 
 impl IndexRecord {
@@ -75,6 +79,7 @@ impl IndexRecord {
             ("tag", Value::str(self.tag.clone())),
             ("backend", Value::str(self.backend.clone())),
             ("dropping_path", Value::str(self.dropping_path.clone())),
+            ("frames", Value::num_u(self.frames)),
         ])
     }
 
@@ -85,6 +90,11 @@ impl IndexRecord {
             tag: v.field("tag")?.as_str()?.to_string(),
             backend: v.field("backend")?.as_str()?.to_string(),
             dropping_path: v.field("dropping_path")?.as_str()?.to_string(),
+            // Indices persisted before the field existed load as unknown.
+            frames: match v.field("frames") {
+                Ok(f) => f.as_u64()?,
+                Err(_) => 0,
+            },
         })
     }
 }
@@ -100,6 +110,20 @@ fn count_op(backend: &str, op: &str, bytes: u64) {
     let base = format!("plfs.{}.{}", backend, op);
     reg.counter(&format!("{}.ops", base)).inc();
     reg.counter(&format!("{}.bytes", base)).add(bytes);
+}
+
+/// Chunk-granular read accounting for chunked (XTCF v2) droppings: how
+/// many chunks a dropping read actually decoded vs skipped cold
+/// (`plfs.{backend}.read.chunks.decoded` / `.skipped` dynamic family).
+pub fn note_chunk_reads(backend: &str, decoded: u64, skipped: u64) {
+    if ada_telemetry::disabled() {
+        return;
+    }
+    let reg = ada_telemetry::global();
+    reg.counter(&format!("plfs.{}.read.chunks.decoded", backend))
+        .add(decoded);
+    reg.counter(&format!("plfs.{}.read.chunks.skipped", backend))
+        .add(skipped);
 }
 
 #[derive(Debug, Default)]
@@ -198,13 +222,27 @@ impl ContainerSet {
     }
 
     /// Append a tagged extent to `logical`, physically stored as a new
-    /// dropping on `backend`.
+    /// dropping on `backend`. The dropping's frame count is recorded as
+    /// unknown; writers that know it use [`ContainerSet::append_tagged_frames`].
     pub fn append_tagged(
         &self,
         logical: &str,
         tag: &str,
         backend: &str,
         content: Content,
+    ) -> Result<SimDuration, PlfsError> {
+        self.append_tagged_frames(logical, tag, backend, content, 0)
+    }
+
+    /// [`ContainerSet::append_tagged`] with the dropping's decoded frame
+    /// count recorded in its index record (`0` = unknown).
+    pub fn append_tagged_frames(
+        &self,
+        logical: &str,
+        tag: &str,
+        backend: &str,
+        content: Content,
+        frames: u64,
     ) -> Result<SimDuration, PlfsError> {
         let fs = self.backend(backend)?.clone();
         let mut g = self.containers.lock();
@@ -226,6 +264,7 @@ impl ContainerSet {
             tag: tag.to_string(),
             backend: backend.to_string(),
             dropping_path,
+            frames,
         });
         idx.logical_len += len;
         Ok(d)
@@ -577,6 +616,52 @@ mod tests {
         assert_eq!(cs.index("bar").unwrap(), before);
         assert_eq!(cs.logical_len("bar").unwrap(), 30);
         // Data still readable through the reloaded index.
+        let (p, _) = cs.read_tagged("bar", "p").unwrap();
+        assert_eq!(p.as_real().unwrap().as_ref(), &[1u8; 10][..]);
+    }
+
+    #[test]
+    fn frame_counts_survive_the_index_round_trip() {
+        let cs = two_backend_set();
+        cs.create_logical("bar").unwrap();
+        cs.append_tagged_frames("bar", "p", "mnt1", Content::real(vec![1u8; 10]), 7)
+            .unwrap();
+        cs.append_tagged("bar", "m", "mnt2", Content::real(vec![2u8; 20]))
+            .unwrap();
+        cs.persist_index("bar").unwrap();
+        cs.containers.lock().remove("bar");
+        cs.load_index("bar").unwrap();
+        let records = cs.index("bar").unwrap();
+        assert_eq!(records[0].frames, 7);
+        assert_eq!(records[1].frames, 0); // writer did not know the count
+    }
+
+    #[test]
+    fn legacy_index_without_frames_field_loads_as_unknown() {
+        let cs = two_backend_set();
+        cs.create_logical("bar").unwrap();
+        cs.append_tagged("bar", "p", "mnt1", Content::real(vec![1u8; 10]))
+            .unwrap();
+        // Persist an index in the pre-`frames` schema by hand.
+        let json = Value::Arr(vec![Value::obj(vec![
+            ("logical_offset", Value::num_u(0)),
+            ("len", Value::num_u(10)),
+            ("tag", Value::str("p".to_string())),
+            ("backend", Value::str("mnt1".to_string())),
+            (
+                "dropping_path",
+                Value::str("mnt1/bar/hostdir.0/dropping.data.p.0".to_string()),
+            ),
+        ])])
+        .to_vec();
+        let fs = &cs.backends[0].1;
+        fs.create("mnt1/bar/hostdir.0/index", Content::real(json))
+            .unwrap();
+        cs.containers.lock().remove("bar");
+        cs.load_index("bar").unwrap();
+        let records = cs.index("bar").unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].frames, 0);
         let (p, _) = cs.read_tagged("bar", "p").unwrap();
         assert_eq!(p.as_real().unwrap().as_ref(), &[1u8; 10][..]);
     }

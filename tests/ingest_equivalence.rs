@@ -6,7 +6,7 @@
 
 use ada_core::{Ada, AdaConfig, IngestInput, RetrievedData};
 use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
-use ada_mdformats::xtcf::XTCF_HEADER_LEN;
+use ada_mdformats::xtcf::{XTCF_DIR_ENTRY_LEN, XTCF_HEADER_LEN, XTCF_TRAILER_LEN};
 use ada_mdformats::{write_pdb, Trajectory};
 use ada_plfs::ContainerSet;
 use ada_simfs::{LocalFs, SimFileSystem};
@@ -50,13 +50,19 @@ fn query_real(ada: &Ada, dataset: &str, tag: Option<&ada_mdmodel::Tag>) -> Traje
     }
 }
 
+/// Per-dropping framing overhead of a sealed single-chunk XTCF v2 file:
+/// the v1 header plus one chunk-directory entry plus the footer trailer.
+/// Exact here because every dropping these tests produce holds fewer
+/// frames than `AdaConfig::chunk_frames`.
+const DROPPING_OVERHEAD: u64 = (XTCF_HEADER_LEN + XTCF_DIR_ENTRY_LEN + XTCF_TRAILER_LEN) as u64;
+
 /// Every observable output of `b` equals `a`'s: label file, per-tag
-/// stored bytes (modulo `extra_headers_per_tag` XTCF dropping headers),
-/// and bit-equal per-tag and untagged query payloads.
+/// stored bytes (modulo `extra_droppings_per_tag` sealed droppings'
+/// framing), and bit-equal per-tag and untagged query payloads.
 fn assert_equivalent(
     a: (&Ada, &ada_core::IngestReport),
     b: (&Ada, &ada_core::IngestReport),
-    extra_headers_per_tag: u64,
+    extra_droppings_per_tag: u64,
     what: &str,
 ) {
     let (ada_a, rep_a) = a;
@@ -69,7 +75,7 @@ fn assert_equivalent(
     assert_eq!(label_a.nframes, label_b.nframes, "{}: label nframes", what);
     assert_eq!(label_a.tags, label_b.tags, "{}: label tag ranges", what);
 
-    let overhead = extra_headers_per_tag * XTCF_HEADER_LEN as u64;
+    let overhead = extra_droppings_per_tag * DROPPING_OVERHEAD;
     assert_eq!(
         rep_a.bytes_by_tag.keys().collect::<Vec<_>>(),
         rep_b.bytes_by_tag.keys().collect::<Vec<_>>(),
@@ -189,7 +195,7 @@ fn streaming_matches_batch_ingest_modulo_chunk_headers() {
     );
 
     // Small batches: 7 frames / 3 = 3 droppings per tag, i.e. two extra
-    // XTCF headers per tag over the batch path's single dropping.
+    // droppings' framing per tag over the batch path's single dropping.
     let stream_many = ada_with(4, 2);
     let rep_many = stream_many
         .ingest_streaming("d", &w.pdb_text, &w.xtc_bytes, 3)
