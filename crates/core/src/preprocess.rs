@@ -25,6 +25,7 @@ use crate::AdaError;
 use ada_mdformats::xtcf::XtcfWriter;
 use ada_mdformats::{xtcf, Trajectory};
 use ada_mdmodel::{IndexRanges, Tag};
+use ada_telemetry::trace::TraceContext;
 use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -94,6 +95,19 @@ pub fn split_trajectory_opts(
     labeler: &Labeler,
     opts: SplitOptions,
 ) -> Result<PreprocessOutput, AdaError> {
+    split_trajectory_traced(traj, labeler, opts, &TraceContext::inactive())
+}
+
+/// [`split_trajectory_opts`] with request tracing: each scoped worker
+/// records an `ingest.split.worker` span under `ctx` covering its share
+/// of the cell queue, so the flight recorder shows the split stage's
+/// actual fan-out instead of one opaque gap.
+pub fn split_trajectory_traced(
+    traj: &Trajectory,
+    labeler: &Labeler,
+    opts: SplitOptions,
+    ctx: &TraceContext,
+) -> Result<PreprocessOutput, AdaError> {
     let natoms = traj.natoms();
     check_ranges(labeler, natoms)?;
 
@@ -115,7 +129,9 @@ pub fn split_trajectory_opts(
                 .map(|_| {
                     let next = &next;
                     let entries = &entries;
+                    let wctx = ctx.clone();
                     scope.spawn(move |_| {
+                        let mut ts = wctx.span("ingest.split.worker");
                         let mut done: Vec<(usize, Result<Vec<u8>, AdaError>)> = Vec::new();
                         let mut gather_buf: Vec<[f32; 3]> = Vec::new();
                         loop {
@@ -131,6 +147,7 @@ pub fn split_trajectory_opts(
                                 encode_chunk(traj, ranges, start..end, &mut gather_buf),
                             ));
                         }
+                        ts.arg("cells", done.len());
                         done
                     })
                 })

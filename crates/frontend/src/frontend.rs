@@ -391,6 +391,7 @@ fn worker_loop(shared: &Shared, class: Class, rx: &Mutex<Receiver<()>>) {
         // Holding the receiver lock while blocked is fine: the other
         // workers of this class are either executing or waiting their
         // turn on this same lock.
+        // ada-lint: allow(no-blocking-under-lock) the mutex exists only to share the consumer end; senders never take it, and peer workers just wait their turn on this same lock
         if rx.lock().recv().is_err() {
             return; // front-end dropped and the queue is drained
         }

@@ -55,6 +55,25 @@ impl Token {
     pub fn is_comment(&self) -> bool {
         matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
     }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.starts_with(c)
+    }
+
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+/// Indices of the non-comment tokens — the "code view" every pass scans.
+/// Positions into this vector are called *code indices* throughout the
+/// crate; `code[j]` maps one back to the raw token stream.
+pub fn code_indices(tokens: &[Token]) -> Vec<usize> {
+    (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect()
 }
 
 struct Cursor {

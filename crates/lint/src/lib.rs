@@ -15,20 +15,30 @@
 //!   lifetimes handled correctly) so rules match tokens, not text;
 //! * [`rules`] — per-file rules with stable IDs, span-accurate diagnostics
 //!   and `// ada-lint: allow(rule-id) reason` suppression;
-//! * [`semantic`] — a cross-file pass over `crates/core` checking the
-//!   `AdaError::kind()` map stays exhaustive and distinct.
+//! * [`semantic`] — cross-file passes: the `AdaError::kind()` map stays
+//!   exhaustive and distinct, and `METRICS.md` neither misses an emitted
+//!   name nor carries a stale one;
+//! * [`callgraph`] — the workspace symbol table (functions, impl blocks,
+//!   lock-typed fields) and call resolution built over the token streams;
+//! * [`concurrency`] — the four cross-crate concurrency passes
+//!   (`lock-order-cycle`, `no-blocking-under-lock`,
+//!   `trace-context-propagated`, `unjoined-spawn`) over a per-function
+//!   guard-liveness walk (DESIGN.md §15).
 //!
 //! Run it as `cargo run -p ada-lint -- --workspace [--deny] [--json PATH]`
 //! or `repro lint [--json]`; the verify gate runs it with `--deny` after
-//! clippy and rustfmt.
+//! clippy and rustfmt, plus `--self-check` over the fixture corpus.
 //!
 //! [`AdaError`]: https://docs.rs/ada-core
 
+pub mod callgraph;
+pub mod concurrency;
 pub mod lexer;
 pub mod rules;
 pub mod semantic;
 
-use rules::{Diagnostic, FileClass, RULES};
+use callgraph::SourceFile;
+use rules::{Allow, Diagnostic, FileClass, RULES};
 use std::path::{Path, PathBuf};
 
 /// Anything that stops the lint from running (I/O, missing workspace).
@@ -111,18 +121,27 @@ impl LintReport {
     }
 
     /// Serialize the report (summary + every finding) as an `ada-json`
-    /// value — `repro lint --json` writes this to `LINT.json`.
+    /// value — `repro lint --json` writes this to `LINT.json`. Schema
+    /// `ada-lint/2`: v1 plus a per-rule `files` count (distinct files with
+    /// any finding of that rule, suppressed included).
     pub fn to_json(&self) -> ada_json::Value {
         use ada_json::Value;
         let rules = Value::Obj(
             self.rule_counts()
                 .into_iter()
                 .map(|(rule, open, quiet)| {
+                    let files: std::collections::BTreeSet<&str> = self
+                        .diagnostics
+                        .iter()
+                        .filter(|d| d.rule == rule)
+                        .map(|d| d.path.as_str())
+                        .collect();
                     (
                         rule.to_string(),
                         Value::obj(vec![
                             ("unsuppressed", Value::num_u(open as u64)),
                             ("suppressed", Value::num_u(quiet as u64)),
+                            ("files", Value::num_u(files.len() as u64)),
                         ]),
                     )
                 })
@@ -142,7 +161,7 @@ impl LintReport {
             Value::obj(fields)
         };
         Value::obj(vec![
-            ("schema", Value::str("ada-lint/1")),
+            ("schema", Value::str("ada-lint/2")),
             ("files_scanned", Value::num_u(self.files_scanned as u64)),
             (
                 "unsuppressed_total",
@@ -185,10 +204,12 @@ pub fn find_workspace_root(start: &Path) -> Result<PathBuf, LintError> {
     }
 }
 
-/// Lint every `crates/*/src/**/*.rs` file under `root` and run the
-/// cross-file semantic pass over `crates/core`. Deterministic: files are
+/// Lint every `crates/*/src/**/*.rs` file under `root` — plus the umbrella
+/// crate's `src/**` and `examples/*.rs` when present — and run the
+/// cross-file semantic and concurrency passes. Deterministic: files are
 /// visited in sorted order and diagnostics are ordered by path/line/col.
 pub fn run_workspace(root: &Path) -> Result<LintReport, LintError> {
+    let mut files: Vec<SourceFile> = Vec::new();
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = read_dir_sorted(&crates_dir)?
         .into_iter()
@@ -196,57 +217,41 @@ pub fn run_workspace(root: &Path) -> Result<LintReport, LintError> {
         .collect();
     crate_dirs.sort();
 
-    let mut diagnostics: Vec<Diagnostic> = Vec::new();
-    let mut files_scanned = 0usize;
-    let mut core_files: Vec<(String, Vec<lexer::Token>)> = Vec::new();
-    let mut all_files: Vec<(String, Vec<lexer::Token>)> = Vec::new();
-
     for crate_dir in &crate_dirs {
         let crate_name = crate_dir
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_default();
-        let src = crate_dir.join("src");
-        let mut files = Vec::new();
-        collect_rs_files(&src, &mut files)?;
-        files.sort();
-        for file in files {
-            let rel = rel_path(root, &file);
-            let body = std::fs::read_to_string(&file).map_err(|source| LintError::Io {
-                path: file.clone(),
-                source,
-            })?;
-            let tokens = lexer::lex(&body);
-            let class = FileClass {
-                crate_name: crate_name.clone(),
-                path: rel.clone(),
-                is_bin_target: rel.ends_with("src/main.rs") || rel.contains("/src/bin/"),
-            };
-            diagnostics.extend(rules::lint_file(&class, &tokens));
-            if rel.ends_with("/src/lib.rs") {
-                if let Some(d) = rules::check_crate_root(&class, &tokens) {
-                    diagnostics.push(d);
-                }
+        load_dir(root, &crate_dir.join("src"), &crate_name, false, &mut files)?;
+    }
+    // The umbrella crate at the workspace root (re-exports + integration
+    // surface) and the runnable examples ride under the same rules: the
+    // umbrella is library code, examples are bin targets (may print).
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        load_dir(root, &root_src, "ada", false, &mut files)?;
+    }
+    let examples = root.join("examples");
+    if examples.is_dir() {
+        load_dir(root, &examples, "examples", true, &mut files)?;
+    }
+
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut allows: Vec<Allow> = Vec::new();
+    for file in &files {
+        let (d, a) = rules::scan_file(&file.class, &file.tokens);
+        diagnostics.extend(d);
+        allows.extend(a);
+        let rel = file.class.path.as_str();
+        if rel.ends_with("/src/lib.rs") || rel == "src/lib.rs" {
+            if let Some(d) = rules::check_crate_root(&file.class, &file.tokens) {
+                diagnostics.push(d);
             }
-            // The error enum and its kind() map live in core today; the
-            // frontend (which adds admission-control variants' call
-            // sites) and the cache (whose admission outcomes feed error
-            // reporting) are scanned too so the pass keeps working if
-            // the enum or the impl ever migrates there.
-            if crate_name == "core" || crate_name == "frontend" || crate_name == "cache" {
-                core_files.push((rel.clone(), tokens.clone()));
-            }
-            all_files.push((rel, tokens));
-            files_scanned += 1;
         }
     }
 
-    // The error-kind pass is anchored to the core crate; workspaces
-    // without one (e.g. rule-test fixtures) have nothing to check.
-    if !core_files.is_empty() {
-        diagnostics.extend(semantic::check_error_kinds(&core_files));
-    }
-    // The metric-name pass runs only where a catalog exists: a workspace
+    diagnostics.extend(semantic::check_error_kinds(&files));
+    // The metric passes run only where a catalog exists: a workspace
     // without METRICS.md (e.g. rule-test fixtures) opted out.
     let catalog_path = root.join("METRICS.md");
     if catalog_path.is_file() {
@@ -254,15 +259,50 @@ pub fn run_workspace(root: &Path) -> Result<LintReport, LintError> {
             path: catalog_path,
             source,
         })?;
-        diagnostics.extend(semantic::check_metric_names(&all_files, &catalog));
+        diagnostics.extend(semantic::check_metric_names(&files, &catalog));
+        diagnostics.extend(semantic::check_metric_usage(&files, &catalog));
     }
+
+    let symbols = callgraph::build_symbols(&files);
+    diagnostics.extend(concurrency::analyze(&files, &symbols));
+
+    rules::resolve_suppressions(&mut diagnostics, &mut allows);
     diagnostics.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
     });
     Ok(LintReport {
         diagnostics,
-        files_scanned,
+        files_scanned: files.len(),
     })
+}
+
+/// Lex every `.rs` file under `dir` into [`SourceFile`]s with the given
+/// crate classification.
+fn load_dir(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    force_bin: bool,
+    out: &mut Vec<SourceFile>,
+) -> Result<(), LintError> {
+    let mut paths = Vec::new();
+    collect_rs_files(dir, &mut paths)?;
+    paths.sort();
+    for file in paths {
+        let rel = rel_path(root, &file);
+        let body = std::fs::read_to_string(&file).map_err(|source| LintError::Io {
+            path: file.clone(),
+            source,
+        })?;
+        let tokens = lexer::lex(&body);
+        let class = FileClass {
+            crate_name: crate_name.to_string(),
+            path: rel.clone(),
+            is_bin_target: force_bin || rel.ends_with("src/main.rs") || rel.contains("/src/bin/"),
+        };
+        out.push(SourceFile::new(class, tokens));
+    }
+    Ok(())
 }
 
 fn rel_path(root: &Path, file: &Path) -> String {

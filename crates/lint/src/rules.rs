@@ -33,9 +33,30 @@ pub const ERROR_KIND: &str = "error-kind-exhaustive";
 /// must be catalogued in `METRICS.md` (see `semantic.rs`). Skipped when
 /// the workspace has no catalog.
 pub const METRIC_NAME: &str = "metric-name-registered";
+/// `unregistered-metric-unused`: the inverse of [`METRIC_NAME`] — a
+/// concrete (dot-separated, non-family) name catalogued in `METRICS.md`
+/// that no scanned crate ever emits is stale and must be removed (see
+/// `semantic.rs`).
+pub const METRIC_UNUSED: &str = "unregistered-metric-unused";
 /// `forbid-unsafe`: no `unsafe` tokens anywhere, and every library crate
 /// root carries `#![forbid(unsafe_code)]`.
 pub const FORBID_UNSAFE: &str = "forbid-unsafe";
+/// `lock-order-cycle`: a cycle in the workspace-wide lock acquisition-order
+/// graph (per-function acquisition sets propagated through the call graph);
+/// two threads interleaving the witness paths deadlock (see
+/// `concurrency.rs`).
+pub const LOCK_ORDER: &str = "lock-order-cycle";
+/// `no-blocking-under-lock`: a bounded-channel `send`/`recv`, a
+/// `JoinHandle::join`, or a scope join while a `Mutex`/`RwLock` guard is
+/// live — the classic bounded-channel deadlock shape (see `concurrency.rs`).
+pub const NO_BLOCKING: &str = "no-blocking-under-lock";
+/// `trace-context-propagated`: every spawn in the instrumented crates must
+/// receive or capture a `TraceContext` (directly or via a callee), keeping
+/// each request's span tree one connected tree (see `concurrency.rs`).
+pub const TRACE_PROP: &str = "trace-context-propagated";
+/// `unjoined-spawn`: a spawn whose `JoinHandle` is discarded; the thread
+/// outlives supervision and its panics vanish (see `concurrency.rs`).
+pub const UNJOINED: &str = "unjoined-spawn";
 /// `malformed-allow`: an `ada-lint:` comment that does not parse as
 /// `allow(rule-id) reason` (the reason is mandatory).
 pub const MALFORMED_ALLOW: &str = "malformed-allow";
@@ -52,10 +73,27 @@ pub const RULES: &[&str] = &[
     NO_PRINT,
     ERROR_KIND,
     METRIC_NAME,
+    METRIC_UNUSED,
     FORBID_UNSAFE,
+    LOCK_ORDER,
+    NO_BLOCKING,
+    TRACE_PROP,
+    UNJOINED,
     MALFORMED_ALLOW,
     UNUSED_ALLOW,
 ];
+
+/// Rules an `// ada-lint: allow(...)` comment may suppress. The semantic
+/// catalog rules are excluded (a wrong kind map or stale catalog is fixed,
+/// not waived), as are the meta-rules. The concurrency rules *are*
+/// suppressible: the passes over-approximate, and a provably-safe site
+/// carries its proof in the mandatory reason string.
+pub fn suppressible(rule: &str) -> bool {
+    !matches!(
+        rule,
+        ERROR_KIND | METRIC_NAME | METRIC_UNUSED | MALFORMED_ALLOW | UNUSED_ALLOW
+    )
+}
 
 /// Crates whose pipelines rely on bounded channels for backpressure.
 const PIPELINE_CRATES: &[&str] = &["core", "frontend", "plfs", "simfs", "vmdsim"];
@@ -64,6 +102,9 @@ const HOT_CRATES: &[&str] = &["cache", "core", "frontend", "plfs", "simfs"];
 /// Crates exempt from `no-panic-in-lib` / `no-print-in-lib` (CLI + bench
 /// harness; panics there abort one run, not a library caller's pipeline).
 const BENCH_CRATES: &[&str] = &["bench"];
+/// Crates carrying request-scoped tracing: every spawn there must
+/// propagate a `TraceContext` (`trace-context-propagated`).
+const INSTRUMENTED_CRATES: &[&str] = &["core", "frontend"];
 
 /// One finding, before or after suppression resolution.
 #[derive(Debug, Clone)]
@@ -97,12 +138,19 @@ impl Diagnostic {
 
 /// A parsed `// ada-lint: allow(rule) reason` directive.
 #[derive(Debug)]
-struct Allow {
-    line: u32,
-    col: u32,
-    rule: String,
-    reason: String,
-    used: bool,
+pub struct Allow {
+    /// Repo-relative path of the file carrying the directive.
+    pub path: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// 1-based column of the comment.
+    pub col: u32,
+    /// The rule it suppresses.
+    pub rule: String,
+    /// Why the site is safe (mandatory).
+    pub reason: String,
+    /// Set once the directive has claimed a finding.
+    pub used: bool,
 }
 
 /// Which per-file rules apply, derived from the file's workspace position.
@@ -129,41 +177,52 @@ impl FileClass {
     fn is_hot(&self) -> bool {
         HOT_CRATES.contains(&self.crate_name.as_str())
     }
+    /// Does the trace-propagation pass apply to this file's crate?
+    pub(crate) fn is_instrumented(&self) -> bool {
+        INSTRUMENTED_CRATES.contains(&self.crate_name.as_str())
+    }
 }
 
-/// Run every per-file rule over one file's token stream, resolve
-/// suppressions, and return all diagnostics (suppressed ones included, with
-/// their reasons, so reports can show both sides of the baseline).
-pub fn lint_file(class: &FileClass, tokens: &[Token]) -> Vec<Diagnostic> {
+/// Run every per-file token rule over one file and return the *raw*
+/// diagnostics (including `malformed-allow`) plus the parsed `allow`
+/// directives. Suppression is resolved globally afterwards — see
+/// [`resolve_suppressions`] — so cross-file passes (semantic, concurrency)
+/// participate in the same allow mechanism.
+pub fn scan_file(class: &FileClass, tokens: &[Token]) -> (Vec<Diagnostic>, Vec<Allow>) {
     let in_test = test_regions(tokens);
-    let (mut allows, mut diags) = parse_allows(class, tokens);
-
-    let code: Vec<usize> = (0..tokens.len())
-        .filter(|&i| !tokens[i].is_comment())
-        .collect();
-
+    let (allows, mut diags) = parse_allows(class, tokens);
+    let code = crate::lexer::code_indices(tokens);
     scan_code_rules(class, tokens, &code, &in_test, &mut diags);
+    (diags, allows)
+}
 
-    // Resolve suppressions: an allow covers findings of its rule on its own
-    // line or the line directly below (i.e. a standalone comment above the
-    // offending line, or a trailing comment on it).
+/// Resolve suppressions across the whole workspace: an allow covers
+/// findings of its rule, in its file, on its own line or the line directly
+/// below (i.e. a standalone comment above the offending line, or a trailing
+/// comment on it). Afterwards, every unused allow becomes an
+/// `unused-allow` finding. Diagnostics are matched in (path, line, col)
+/// order, so resolution is deterministic.
+pub fn resolve_suppressions(diags: &mut Vec<Diagnostic>, allows: &mut [Allow]) {
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
     for d in diags.iter_mut() {
-        if d.rule == MALFORMED_ALLOW || d.rule == UNUSED_ALLOW {
-            continue; // meta-rules are never suppressible
+        if !suppressible(d.rule) {
+            continue;
         }
         for a in allows.iter_mut() {
-            if a.rule == d.rule && (a.line == d.line || a.line + 1 == d.line) {
+            if a.rule == d.rule && a.path == d.path && (a.line == d.line || a.line + 1 == d.line) {
                 d.suppressed = Some(a.reason.clone());
                 a.used = true;
                 break;
             }
         }
     }
-    for a in &allows {
+    for a in allows.iter() {
         if !a.used {
             diags.push(Diagnostic {
                 rule: UNUSED_ALLOW,
-                path: class.path.clone(),
+                path: a.path.clone(),
                 line: a.line,
                 col: a.col,
                 message: format!(
@@ -174,8 +233,6 @@ pub fn lint_file(class: &FileClass, tokens: &[Token]) -> Vec<Diagnostic> {
             });
         }
     }
-    diags.sort_by_key(|d| (d.line, d.col));
-    diags
 }
 
 /// Token-sequence matching for all code rules in one pass.
@@ -497,7 +554,7 @@ fn item_extent(tokens: &[Token], code: &[usize], start: usize) -> Option<usize> 
 
 /// Extract `ada-lint: allow(rule) reason` directives from comments; emit
 /// `malformed-allow` diagnostics for ones that don't parse or lack a reason.
-fn parse_allows(class: &FileClass, tokens: &[Token]) -> (Vec<Allow>, Vec<Diagnostic>) {
+pub(crate) fn parse_allows(class: &FileClass, tokens: &[Token]) -> (Vec<Allow>, Vec<Diagnostic>) {
     let mut allows = Vec::new();
     let mut diags = Vec::new();
     for t in tokens {
@@ -533,6 +590,7 @@ fn parse_allows(class: &FileClass, tokens: &[Token]) -> (Vec<Allow>, Vec<Diagnos
         match parsed {
             Some((rule, reason)) if RULES.contains(&rule.as_str()) && !reason.is_empty() => {
                 allows.push(Allow {
+                    path: class.path.clone(),
                     line: t.line,
                     col: t.col,
                     rule,

@@ -24,9 +24,16 @@
 //! families) are invisible to the pass and are documented in the
 //! catalog's prose instead. Like the kind pass, findings here are not
 //! suppressible — an uncatalogued name is fixed by registering it.
+//!
+//! The third pass, [`check_metric_usage`], is the inverse: a *concrete*
+//! catalogued name (dot-separated, not a `{…}` family) that no scanned
+//! crate ever mentions in a string literal is stale and flagged at its
+//! position in `METRICS.md`, so the catalog cannot drift ahead of the
+//! code. Also not suppressible — a dead entry is deleted, not waived.
 
+use crate::callgraph::SourceFile;
 use crate::lexer::{Token, TokenKind};
-use crate::rules::{Diagnostic, ERROR_KIND, METRIC_NAME};
+use crate::rules::{Diagnostic, ERROR_KIND, METRIC_NAME, METRIC_UNUSED};
 use std::collections::BTreeSet;
 
 /// Name of the error enum whose `kind()` map is checked.
@@ -41,16 +48,27 @@ struct KindArm {
     col: u32,
 }
 
-/// Run the pass over `(path, tokens)` pairs from the core crate.
-pub fn check_error_kinds(files: &[(String, Vec<Token>)]) -> Vec<Diagnostic> {
+/// Run the pass over the scanned files. The enum and its `kind()` map live
+/// in `crates/core` today; `frontend` (admission-control variants' call
+/// sites) and `cache` are scanned too so the pass keeps working if either
+/// ever hosts them. Workspaces with none of those crates (rule-test
+/// fixtures) have nothing to check.
+pub fn check_error_kinds(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let scope: Vec<&SourceFile> = files
+        .iter()
+        .filter(|f| matches!(f.class.crate_name.as_str(), "core" | "frontend" | "cache"))
+        .collect();
+    if scope.is_empty() {
+        return Vec::new();
+    }
     let mut diags = Vec::new();
 
-    let enum_site = files
+    let enum_site = scope
         .iter()
-        .find_map(|(p, toks)| find_enum_variants(toks).map(|v| (p.as_str(), v)));
-    let kind_site = files
+        .find_map(|f| find_enum_variants(&f.tokens).map(|v| (f.class.path.as_str(), v)));
+    let kind_site = scope
         .iter()
-        .find_map(|(p, toks)| find_kind_arms(toks).map(|v| (p.as_str(), v)));
+        .find_map(|f| find_kind_arms(&f.tokens).map(|v| (f.class.path.as_str(), v)));
 
     let (enum_path, variants) = match enum_site {
         Some(site) => site,
@@ -148,41 +166,34 @@ const METRIC_SINKS: &[&str] = &[
     "root",
 ];
 
-/// Run the metric-name pass over `(path, tokens)` pairs from every crate,
-/// against the backtick-quoted names registered in `catalog` (the text of
+/// Run the metric-name pass over every scanned file, against the
+/// backtick-quoted names registered in `catalog` (the text of
 /// `METRICS.md`). Test code is exempt (tests mint throwaway names).
-pub fn check_metric_names(files: &[(String, Vec<Token>)], catalog: &str) -> Vec<Diagnostic> {
+pub fn check_metric_names(files: &[SourceFile], catalog: &str) -> Vec<Diagnostic> {
     let registered = catalog_names(catalog);
     let mut diags = Vec::new();
-    for (path, tokens) in files {
-        let in_test = crate::rules::test_regions(tokens);
-        let code: Vec<usize> = (0..tokens.len())
-            .filter(|&i| !tokens[i].is_comment())
-            .collect();
-        let is_p = |j: usize, c: char| {
-            tokens[code[j]].kind == TokenKind::Punct && tokens[code[j]].text.starts_with(c)
-        };
-        for j in 0..code.len() {
-            let t = &tokens[code[j]];
+    for file in files {
+        for j in 0..file.code.len() {
+            let t = file.tok(j);
             if t.kind != TokenKind::Ident
-                || in_test[code[j]]
+                || file.in_test_at(j)
                 || !METRIC_SINKS.contains(&t.text.as_str())
             {
                 continue;
             }
             // Optional `!` (macro form), then `(`, then a string literal.
             let mut k = j + 1;
-            if k < code.len() && is_p(k, '!') {
+            if file.is_p(k, '!') {
                 k += 1;
             }
-            if !(k < code.len() && is_p(k, '(')) {
+            if !file.is_p(k, '(') {
                 continue;
             }
             k += 1;
-            if !(k < code.len() && tokens[code[k]].kind == TokenKind::Str) {
+            if !(k < file.code.len() && file.tok(k).kind == TokenKind::Str) {
                 continue;
             }
-            let lit = &tokens[code[k]];
+            let lit = file.tok(k);
             let name = lit
                 .text
                 .trim_start_matches('r')
@@ -191,7 +202,7 @@ pub fn check_metric_names(files: &[(String, Vec<Token>)], catalog: &str) -> Vec<
             if !registered.contains(name) {
                 diags.push(Diagnostic {
                     rule: METRIC_NAME,
-                    path: path.clone(),
+                    path: file.class.path.clone(),
                     line: lit.line,
                     col: lit.col,
                     message: format!(
@@ -205,6 +216,66 @@ pub fn check_metric_names(files: &[(String, Vec<Token>)], catalog: &str) -> Vec<
         }
     }
     diags
+}
+
+/// The inverse catalog pass: flag concrete catalogued names nothing emits.
+///
+/// A catalog entry is *concrete* when it looks like a metric name rather
+/// than prose or a dynamic family: it contains a `.` and none of `{`,
+/// space, `/`, `(`, `:` (those mark `{op}` families, file names, command
+/// lines, and prose backticks). A concrete name counts as used when any
+/// string literal in any scanned file — tests included, since helper
+/// literals and assertions keep names alive — contains it as a substring;
+/// the substring match also keeps prefixes of `format!`-built names alive.
+pub fn check_metric_usage(files: &[SourceFile], catalog: &str) -> Vec<Diagnostic> {
+    // First occurrence of each concrete name, with its 1-based span in the
+    // catalog (anchored at the opening backtick).
+    let mut entries: Vec<(&str, u32, u32)> = Vec::new();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for (lineno, line) in catalog.lines().enumerate() {
+        let mut rest = line;
+        let mut consumed = 0usize; // chars consumed from the line so far
+        while let Some(open) = rest.find('`') {
+            let open_col = consumed + rest[..open].chars().count() + 1;
+            rest = &rest[open + 1..];
+            consumed = open_col; // backtick itself is one char
+            let Some(close) = rest.find('`') else { break };
+            let name = &rest[..close];
+            let concrete = name.contains('.')
+                && !name.contains('{')
+                && !name.contains(' ')
+                && !name.contains('/')
+                && !name.contains('(')
+                && !name.contains(':');
+            if concrete && seen.insert(name) {
+                entries.push((name, (lineno + 1) as u32, open_col as u32));
+            }
+            consumed += name.chars().count() + 1;
+            rest = &rest[close + 1..];
+        }
+    }
+    entries
+        .into_iter()
+        .filter(|(name, _, _)| {
+            !files.iter().any(|f| {
+                f.tokens
+                    .iter()
+                    .any(|t| t.kind == TokenKind::Str && t.text.contains(name))
+            })
+        })
+        .map(|(name, line, col)| Diagnostic {
+            rule: METRIC_UNUSED,
+            path: "METRICS.md".to_string(),
+            line,
+            col,
+            message: format!(
+                "catalogued metric/span name `{}` is never emitted by any scanned crate; the \
+                 catalog has drifted — delete the stale entry (or wire up the emitter)",
+                name
+            ),
+            suppressed: None,
+        })
+        .collect()
 }
 
 /// Every backtick-quoted name in the catalog. Names containing `{` are

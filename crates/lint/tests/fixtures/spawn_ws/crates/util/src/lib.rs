@@ -1,0 +1,43 @@
+//! Unjoined-spawn fixture: discarded handles are findings; joined,
+//! collected, and scoped spawns are not.
+#![forbid(unsafe_code)]
+
+fn work() -> u64 {
+    2
+}
+
+/// Two findings: the handle is discarded both ways.
+pub fn leaks() {
+    std::thread::spawn(work);
+    let _ = std::thread::spawn(work);
+}
+
+/// Non-finding: the handle is joined.
+pub fn joined() -> u64 {
+    let h = std::thread::spawn(work);
+    h.join().unwrap_or(0)
+}
+
+/// Non-finding: handles are collected for a later join.
+pub fn collected() -> u64 {
+    let handles: Vec<_> = (0..4).map(|_| std::thread::spawn(work)).collect();
+    let mut total = 0;
+    for h in handles {
+        total += h.join().unwrap_or(0);
+    }
+    total
+}
+
+/// Non-finding: scoped spawns join implicitly when the scope ends.
+pub fn scoped(vals: &[u64]) -> u64 {
+    let mut total = 0;
+    std::thread::scope(|s| {
+        for v in vals {
+            s.spawn(|| {
+                let _ = v;
+            });
+        }
+        total = vals.len() as u64;
+    });
+    total
+}

@@ -1,0 +1,57 @@
+//! Trace-propagation fixture: spawns in the instrumented `core` crate
+//! must receive or capture a `TraceContext`, directly or via a callee.
+#![forbid(unsafe_code)]
+
+/// Fixture error enum so the error-kind pass has a map to check.
+pub enum AdaError {
+    /// IO failed.
+    Io,
+    /// Bad input.
+    Parse,
+}
+
+impl AdaError {
+    /// Stable kind string per variant.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AdaError::Io => "io",
+            AdaError::Parse => "parse",
+        }
+    }
+}
+
+/// Minimal trace-context stand-in.
+#[derive(Clone)]
+pub struct TraceContext;
+
+impl TraceContext {
+    /// Record a span (no-op in the fixture).
+    pub fn mark(&self) {}
+}
+
+fn helper(c: TraceContext) {
+    c.mark();
+}
+
+fn plain_work() -> u64 {
+    7
+}
+
+/// Finding: the spawned closure reaches no context at all.
+pub fn spawn_without_ctx() -> u64 {
+    let h = std::thread::spawn(plain_work);
+    h.join().unwrap_or(0)
+}
+
+/// Non-finding: the closure captures `ctx` directly.
+pub fn spawn_with_capture(ctx: TraceContext) {
+    let h = std::thread::spawn(move || ctx.mark());
+    let _ = h.join();
+}
+
+/// Non-finding: the closure reaches a ctx-taking callee (`helper`).
+pub fn spawn_via_helper(ctx: TraceContext) {
+    let c = ctx;
+    let h = std::thread::spawn(move || helper(c));
+    let _ = h.join();
+}

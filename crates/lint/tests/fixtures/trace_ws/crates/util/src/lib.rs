@@ -1,0 +1,12 @@
+//! Uninstrumented crate: spawns here carry no tracing obligation.
+#![forbid(unsafe_code)]
+
+fn work() -> u64 {
+    1
+}
+
+/// Non-finding: `util` is not an instrumented crate.
+pub fn spawn_plain() -> u64 {
+    let h = std::thread::spawn(work);
+    h.join().unwrap_or(1)
+}

@@ -161,7 +161,7 @@ fn clean_workspace_has_no_findings() {
 fn json_report_parses_back_with_per_rule_counts() {
     let report = run_workspace(&fixture("ws")).unwrap();
     let v = ada_json::parse(&report.to_json().to_vec()).unwrap();
-    assert_eq!(v.field("schema").unwrap().as_str().unwrap(), "ada-lint/1");
+    assert_eq!(v.field("schema").unwrap().as_str().unwrap(), "ada-lint/2");
     assert_eq!(v.field("files_scanned").unwrap().as_u64().unwrap(), 3);
     assert_eq!(v.field("unsuppressed_total").unwrap().as_u64().unwrap(), 12);
     assert_eq!(v.field("suppressed_total").unwrap().as_u64().unwrap(), 1);
@@ -185,6 +185,11 @@ fn json_report_parses_back_with_per_rule_counts() {
     assert_eq!(count("forbid-unsafe", "unsuppressed"), 2);
     assert_eq!(count("malformed-allow", "unsuppressed"), 1);
     assert_eq!(count("unused-allow", "unsuppressed"), 1);
+    // v2 additions: per-rule distinct-file counts (all findings live in
+    // the one dirty file) and zeroed entries for rules that never fired.
+    assert_eq!(count("no-panic-in-lib", "files"), 1);
+    assert_eq!(count("lock-order-cycle", "files"), 0);
+    assert_eq!(count("lock-order-cycle", "unsuppressed"), 0);
 
     assert_eq!(v.field("findings").unwrap().as_arr().unwrap().len(), 12);
     let sups = v.field("suppressions").unwrap().as_arr().unwrap();

@@ -1,0 +1,71 @@
+//! Golden-baseline test: the committed `LINT.json` at the repo root must
+//! match a fresh scan of the real workspace, rule by rule.
+//!
+//! This pins two properties at once: the tree stays at zero open findings
+//! (every violation is either fixed or carries a reasoned allow), and the
+//! suppression counts cannot drift silently — adding or removing an
+//! `ada-lint: allow` without regenerating the baseline
+//! (`cargo run -p ada-lint -- --workspace --json LINT.json`) fails here.
+
+use ada_lint::run_workspace;
+use std::path::Path;
+
+#[test]
+fn committed_baseline_matches_a_fresh_workspace_scan() {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap();
+    let baseline_path = repo_root.join("LINT.json");
+    let baseline_bytes = std::fs::read(&baseline_path).unwrap();
+    let baseline = ada_json::parse(&baseline_bytes).unwrap();
+    assert_eq!(
+        baseline.field("schema").unwrap().as_str().unwrap(),
+        "ada-lint/2"
+    );
+
+    let report = run_workspace(repo_root).unwrap();
+    assert_eq!(
+        report.unsuppressed().count(),
+        0,
+        "the tree must stay at zero open findings: {:?}",
+        report.unsuppressed().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        baseline
+            .field("unsuppressed_total")
+            .unwrap()
+            .as_u64()
+            .unwrap(),
+        0
+    );
+    assert_eq!(
+        baseline
+            .field("suppressed_total")
+            .unwrap()
+            .as_u64()
+            .unwrap(),
+        report.suppressed().count() as u64,
+        "suppression count drifted; regenerate LINT.json"
+    );
+    assert_eq!(
+        baseline.field("files_scanned").unwrap().as_u64().unwrap(),
+        report.files_scanned as u64,
+        "file-discovery drifted; regenerate LINT.json"
+    );
+
+    let rules = baseline.field("rules").unwrap();
+    for (rule, open, quiet) in report.rule_counts() {
+        let entry = rules
+            .field(rule)
+            .unwrap_or_else(|_| panic!("rule {} missing from LINT.json", rule));
+        let get = |key: &str| entry.field(key).unwrap().as_u64().unwrap();
+        assert_eq!(
+            (get("unsuppressed"), get("suppressed")),
+            (open as u64, quiet as u64),
+            "rule {} drifted from the committed baseline; regenerate LINT.json",
+            rule
+        );
+    }
+}

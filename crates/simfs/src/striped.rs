@@ -188,11 +188,6 @@ impl StripedFs {
     pub fn server_count(&self) -> usize {
         self.inner.lock().servers.len()
     }
-
-    fn capacity(&self) -> u64 {
-        let g = self.inner.lock();
-        g.servers.iter().map(|d| d.profile.capacity).sum()
-    }
 }
 
 impl SimFileSystem for StripedFs {
@@ -226,11 +221,14 @@ impl SimFileSystem for StripedFs {
 
     fn append(&self, path: &str, content: Content) -> Result<SimDuration, FsError> {
         {
+            // Compute capacity from the held guard: calling capacity()
+            // here would re-lock `inner` and self-deadlock.
             let g = self.inner.lock();
-            if g.used + content.len() > self.capacity() {
+            let capacity: u64 = g.servers.iter().map(|d| d.profile.capacity).sum();
+            if g.used + content.len() > capacity {
                 return Err(FsError::NoSpace {
                     requested: content.len(),
-                    free: self.capacity() - g.used,
+                    free: capacity - g.used,
                 });
             }
         }

@@ -7,6 +7,7 @@
 //! Start with [`ada_core::Ada`] for the middleware itself, or run
 //! `cargo run -p ada-bench --bin repro -- all` to regenerate the paper's
 //! evaluation. See README.md for the architecture tour.
+#![forbid(unsafe_code)]
 
 pub use ada_core as core;
 pub use ada_mdformats as mdformats;
