@@ -55,6 +55,37 @@ fn main() {
         args.remove(i);
         trace_selftest = true;
     }
+    // `--port <N>` (for `repro serve`): TCP port to bind. Defaults to 0,
+    // which picks a free port and prints it.
+    let mut port: u16 = 0;
+    if let Some(i) = args.iter().position(|a| a == "--port") {
+        args.remove(i);
+        if i < args.len() {
+            port = args.remove(i).parse().unwrap_or_else(|_| {
+                eprintln!("--port needs a numeric port argument");
+                std::process::exit(2);
+            });
+        } else {
+            eprintln!("--port needs a numeric port argument");
+            std::process::exit(2);
+        }
+    }
+    // `--smoke` (for `repro serve`): after the server starts, run a
+    // loopback ping/ingest/query/range/cache-stats round trip against it
+    // over real TCP, then shut down and exit. CI's liveness gate.
+    let mut smoke = false;
+    if let Some(i) = args.iter().position(|a| a == "--smoke") {
+        args.remove(i);
+        smoke = true;
+    }
+    // `--remote` (for `repro bench-contention`): run the contention sweep
+    // over real TCP server fleets and the consistent-hash router instead
+    // of the in-process front-end — an alias for `bench-network`.
+    let mut remote = false;
+    if let Some(i) = args.iter().position(|a| a == "--remote") {
+        args.remove(i);
+        remote = true;
+    }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "table1",
@@ -108,8 +139,16 @@ fn main() {
             "profile-ingest" => profile_ingest(),
             "bench-query" => bench_query(),
             "profile-query" => profile_query(),
-            "bench-contention" => bench_contention(),
+            "bench-contention" => {
+                if remote {
+                    bench_network()
+                } else {
+                    bench_contention()
+                }
+            }
+            "bench-network" => bench_network(),
             "bench-sampling" => bench_sampling(),
+            "serve" => serve(port, smoke),
             "trace" => run_trace(trace_selftest),
             "lint" => run_lint(lint_json),
             other => eprintln!("unknown item '{}'", other),
@@ -1412,6 +1451,304 @@ fn bench_contention() {
     ]);
     std::fs::write("BENCH_contention.json", json.to_vec()).expect("write BENCH_contention.json");
     println!("  wrote BENCH_contention.json\n");
+}
+
+/// `repro bench-network` (also `bench-contention --remote`) — the
+/// networked contention sweep: shard counts × concurrent TCP clients
+/// against real `ada-server` fleets behind the consistent-hash
+/// [`ada_client::Router`]. Each client thread owns its sockets, so
+/// throughput reflects the fleet, not client-side lock convoys. A final
+/// run against a deliberately starved single shard shows typed
+/// `Overloaded` shedding crossing the wire intact. Writes
+/// BENCH_network.json.
+fn bench_network() {
+    use ada_client::{ClientConfig, Router};
+    use ada_frontend::{Frontend, FrontendConfig};
+    use ada_json::Value;
+    use ada_mdformats::write_pdb;
+    use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
+    use ada_server::{Server, ServerConfig};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const SHARDS: [usize; 3] = [1, 2, 4];
+    const CLIENTS: [usize; 4] = [1, 2, 4, 8];
+    const REQS_PER_CLIENT: usize = 6;
+    const DATASETS: usize = 8;
+
+    let w = ada_workload::gpcr_workload(1_000, 64, 7);
+    let pdb_text = write_pdb(&w.system);
+    let xtc_bytes = write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap();
+
+    struct Run {
+        mode: &'static str,
+        shards: usize,
+        clients: usize,
+        ok: u64,
+        shed: u64,
+        wall_s: f64,
+        p50_ms: f64,
+        p99_ms: f64,
+        shed_kind: Option<String>,
+    }
+
+    // Start `n` servers — each over its OWN instance, as a real sharded
+    // deployment would be — and seed every dataset through a router so
+    // each lands on its ring owner.
+    let start_fleet = |n: usize, query_slots: usize, query_queue: usize| {
+        let mut servers = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let ada = Arc::new(query_bench_ada(0));
+            let fe = Arc::new(Frontend::new(
+                ada,
+                FrontendConfig {
+                    query_slots,
+                    query_queue,
+                    ..FrontendConfig::default()
+                },
+            ));
+            let server = Server::start(fe, ServerConfig::default()).expect("server must start");
+            addrs.push(server.local_addr().to_string());
+            servers.push(server);
+        }
+        let setup = Router::new(addrs.clone(), ClientConfig::default());
+        for d in 0..DATASETS {
+            setup
+                .ingest(&format!("ds{}", d), &pdb_text, &xtc_bytes, 0)
+                .expect("seed ingest must succeed");
+        }
+        (servers, addrs)
+    };
+
+    // One measured run: `clients` threads, each with its own router,
+    // cycling `tag` queries across the seeded datasets.
+    let run = |mode: &'static str,
+               addrs: &[String],
+               shards: usize,
+               clients: usize,
+               tag: Option<&'static str>|
+     -> Run {
+        let latencies = ada_telemetry::Histogram::new();
+        let mut ok = 0u64;
+        let mut shed = 0u64;
+        let mut shed_kind: Option<String> = None;
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..clients {
+                let latencies = &latencies;
+                handles.push(scope.spawn(move || {
+                    let router = Router::new(
+                        addrs.to_vec(),
+                        ClientConfig {
+                            name: format!("c{}", t),
+                            ..ClientConfig::default()
+                        },
+                    );
+                    let mut ok = 0u64;
+                    let mut shed = 0u64;
+                    let mut kind: Option<String> = None;
+                    for r in 0..REQS_PER_CLIENT {
+                        let dataset = format!("ds{}", (t + r) % DATASETS);
+                        let t0 = Instant::now();
+                        match router.query(&dataset, tag) {
+                            Ok(_) => {
+                                latencies.record(t0.elapsed().as_nanos() as u64);
+                                ok += 1;
+                            }
+                            Err(e) => {
+                                // Typed (`Overloaded` under the starved
+                                // fleet); the first kind seen is reported.
+                                shed += 1;
+                                kind.get_or_insert_with(|| e.kind().to_string());
+                            }
+                        }
+                    }
+                    (ok, shed, kind)
+                }));
+            }
+            for h in handles {
+                let (o, s, k) = h.join().expect("client thread must not panic");
+                ok += o;
+                shed += s;
+                if shed_kind.is_none() {
+                    shed_kind = k;
+                }
+            }
+        });
+        let wall_s = t0.elapsed().as_secs_f64();
+        let snap = latencies.snapshot();
+        Run {
+            mode,
+            shards,
+            clients,
+            ok,
+            shed,
+            wall_s,
+            p50_ms: snap.p50 / 1e6,
+            p99_ms: snap.p99 / 1e6,
+            shed_kind,
+        }
+    };
+
+    let mut runs: Vec<Run> = Vec::new();
+    for &shards in &SHARDS {
+        let (mut servers, addrs) = start_fleet(shards, 4, 64);
+        for &clients in &CLIENTS {
+            runs.push(run("sweep", &addrs, shards, clients, Some("p")));
+        }
+        for s in &mut servers {
+            s.shutdown();
+        }
+    }
+    // Overload: one shard starved to a single slot and a single queue
+    // waiter, hammered by the biggest herd with full-frame queries —
+    // most requests come back as typed `Overloaded` over the wire.
+    let (mut servers, addrs) = start_fleet(1, 1, 1);
+    runs.push(run("overload", &addrs, 1, 8, None));
+    for s in &mut servers {
+        s.shutdown();
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                r.shards.to_string(),
+                r.clients.to_string(),
+                r.ok.to_string(),
+                r.shed.to_string(),
+                format!("{:.1}", r.wall_s * 1e3),
+                format!("{:.1}", r.ok as f64 / r.wall_s),
+                format!("{:.1}", r.p50_ms),
+                format!("{:.1}", r.p99_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &format!(
+                "Networked contention — {} reqs/client over {} datasets (GPCR, 64 frames × {} atoms, {} core(s), TCP loopback)",
+                REQS_PER_CLIENT,
+                DATASETS,
+                w.system.len(),
+                cores
+            ),
+            &["mode", "shards", "clients", "ok", "shed", "wall (ms)", "req/s", "p50 (ms)", "p99 (ms)"],
+            &rows
+        )
+    );
+
+    let run_json = |r: &Run| {
+        Value::obj(vec![
+            ("mode", Value::str(r.mode)),
+            ("shards", Value::num_u(r.shards as u64)),
+            ("clients", Value::num_u(r.clients as u64)),
+            (
+                "requests",
+                Value::num_u((r.clients * REQS_PER_CLIENT) as u64),
+            ),
+            ("ok", Value::num_u(r.ok)),
+            ("shed", Value::num_u(r.shed)),
+            ("wall_s", Value::Num(r.wall_s)),
+            ("throughput_rps", Value::Num(r.ok as f64 / r.wall_s)),
+            ("p50_ms", Value::Num(r.p50_ms)),
+            ("p99_ms", Value::Num(r.p99_ms)),
+            (
+                "shed_kind",
+                match &r.shed_kind {
+                    Some(k) => Value::str(k),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    };
+    let json = Value::obj(vec![
+        (
+            "workload",
+            Value::obj(vec![
+                ("natoms", Value::num_u(w.system.len() as u64)),
+                ("nframes", Value::num_u(w.trajectory.len() as u64)),
+                ("raw_bytes", Value::num_u(w.trajectory.nbytes() as u64)),
+            ]),
+        ),
+        ("cores", Value::num_u(cores as u64)),
+        ("datasets", Value::num_u(DATASETS as u64)),
+        ("reqs_per_client", Value::num_u(REQS_PER_CLIENT as u64)),
+        ("runs", Value::Arr(runs.iter().map(run_json).collect())),
+    ]);
+    std::fs::write("BENCH_network.json", json.to_vec()).expect("write BENCH_network.json");
+    println!("  wrote BENCH_network.json\n");
+}
+
+/// `repro serve [--port N] [--smoke]` — run a standalone `ada-server`
+/// over a fresh paper-prototype instance. With `--smoke`, a loopback
+/// client round-trips ping/ingest/query/range/cache-stats against the
+/// live server and the process exits; without it, the daemon serves
+/// until killed.
+fn serve(port: u16, smoke: bool) {
+    use ada_client::{Client, ClientConfig};
+    use ada_frontend::{Frontend, FrontendConfig};
+    use ada_mdformats::write_pdb;
+    use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
+    use ada_server::{Server, ServerConfig};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let ada = Arc::new(query_bench_ada(0));
+    let fe = Arc::new(Frontend::new(ada, FrontendConfig::default()));
+    let config = ServerConfig {
+        addr: format!("127.0.0.1:{}", port),
+        ..ServerConfig::default()
+    };
+    let mut server = match Server::start(fe, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ada-server failed to start: {}", e);
+            std::process::exit(1);
+        }
+    };
+    println!("ada-server listening on {}", server.local_addr());
+
+    if smoke {
+        let client = Client::new(
+            server.local_addr().to_string(),
+            ClientConfig {
+                name: "smoke".to_string(),
+                ..ClientConfig::default()
+            },
+        );
+        let w = ada_workload::gpcr_workload(500, 8, 7);
+        let pdb_text = write_pdb(&w.system);
+        let xtc_bytes = write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap();
+        client.ping().expect("smoke: ping");
+        let ing = client
+            .ingest("smoke", &pdb_text, &xtc_bytes, 0)
+            .expect("smoke: ingest");
+        let q = client.query("smoke", Some("p")).expect("smoke: query");
+        let r = client
+            .query_range("smoke", "p", 0, 8, 2)
+            .expect("smoke: query_range");
+        let stats = client.cache_stats().expect("smoke: cache stats");
+        server.shutdown();
+        println!(
+            "  smoke OK — ingested {} raw bytes; protein query {} B, strided range {} B; cache {} hit(s) / {} miss(es)",
+            ing.raw_bytes,
+            q.bytes(),
+            r.bytes(),
+            stats.hits,
+            stats.misses
+        );
+    } else {
+        println!("  serving until killed (ctrl-C to stop)");
+        loop {
+            std::thread::sleep(Duration::from_secs(60));
+        }
+    }
 }
 
 /// `repro bench-sampling` — the ML-sampling read workload: shuffled

@@ -143,6 +143,16 @@ pub enum AdaError {
         /// The deadline the client attached to the request.
         deadline: std::time::Duration,
     },
+    /// The networked path failed below the request layer: connect/read/
+    /// write timed out, the peer vanished mid-frame, or a frame failed
+    /// protocol validation (bad magic, bad CRC, oversized length). The
+    /// request outcome is unknown to the caller; retrying is safe for
+    /// queries and create-once-guarded for ingests.
+    Network {
+        /// What broke, rendered for operators (includes the peer address
+        /// where known).
+        detail: String,
+    },
 }
 
 /// Convert a worker-thread panic payload into a structured [`AdaError`]
@@ -225,6 +235,7 @@ impl std::fmt::Display for AdaError {
                 "deadline exceeded: waited {:?} in the admission queue, deadline was {:?}",
                 waited, deadline
             ),
+            AdaError::Network { detail } => write!(f, "network: {}", detail),
         }
     }
 }
@@ -249,6 +260,7 @@ impl AdaError {
             AdaError::Internal(_) => "internal",
             AdaError::Overloaded { .. } => "overloaded",
             AdaError::DeadlineExceeded { .. } => "deadline_exceeded",
+            AdaError::Network { .. } => "network",
         }
     }
 }
@@ -269,7 +281,8 @@ impl std::error::Error for AdaError {
             | AdaError::NotTargetApplication(_)
             | AdaError::Internal(_)
             | AdaError::Overloaded { .. }
-            | AdaError::DeadlineExceeded { .. } => None,
+            | AdaError::DeadlineExceeded { .. }
+            | AdaError::Network { .. } => None,
         }
     }
 }

@@ -204,13 +204,30 @@ impl Frontend {
         request: Request,
         deadline: Option<Duration>,
     ) -> Result<Reply, AdaError> {
-        let class = request.class();
         // Every request — including one about to be shed — gets a trace
         // root here at admission. The guard stays on this (client) thread;
         // it seals the trace when this function returns, by which point
         // the worker has already sent the reply and therefore finished
         // every child span.
         let (ctx, mut root) = trace::root("frontend.request");
+        self.submit_rooted(client, request, deadline, &ctx, &mut root)
+    }
+
+    /// [`Frontend::submit`] under a caller-minted trace root. The
+    /// networked server uses this with a root minted from the wire-carried
+    /// trace id ([`trace::root_remote`]), so the admission queue wait,
+    /// slot execution, and every middleware span seal into the *client's*
+    /// trace instead of a disconnected local one. The caller keeps the
+    /// root guard alive until this returns (the guard seals the tree).
+    pub fn submit_rooted(
+        &self,
+        client: &str,
+        request: Request,
+        deadline: Option<Duration>,
+        ctx: &TraceContext,
+        root: &mut trace::TraceSpanGuard,
+    ) -> Result<Reply, AdaError> {
+        let class = request.class();
         root.arg("op", request.op_name());
         root.arg("client", client);
         let (reply_tx, reply_rx) = sync_channel::<Result<Reply, AdaError>>(1);
@@ -218,7 +235,7 @@ impl Frontend {
             client: client.to_string(),
             request,
             reply: reply_tx,
-            ctx,
+            ctx: ctx.clone(),
         };
         let now = self.shared.now_ns();
         let deadline_ns = deadline.map(|d| d.as_nanos().min(u64::MAX as u128) as u64);

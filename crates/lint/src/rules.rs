@@ -96,15 +96,20 @@ pub fn suppressible(rule: &str) -> bool {
 }
 
 /// Crates whose pipelines rely on bounded channels for backpressure.
-const PIPELINE_CRATES: &[&str] = &["core", "frontend", "plfs", "simfs", "vmdsim"];
+/// `server` is here for its per-connection reader→executor→writer
+/// channels: an unbounded one would let a fast peer queue frames without
+/// limit.
+const PIPELINE_CRATES: &[&str] = &["core", "frontend", "plfs", "simfs", "vmdsim", "server"];
 /// Crates on the ingest/query hot path that must use `parking_lot`.
-const HOT_CRATES: &[&str] = &["cache", "core", "frontend", "plfs", "simfs"];
+const HOT_CRATES: &[&str] = &[
+    "cache", "core", "frontend", "plfs", "simfs", "server", "client",
+];
 /// Crates exempt from `no-panic-in-lib` / `no-print-in-lib` (CLI + bench
 /// harness; panics there abort one run, not a library caller's pipeline).
 const BENCH_CRATES: &[&str] = &["bench"];
 /// Crates carrying request-scoped tracing: every spawn there must
 /// propagate a `TraceContext` (`trace-context-propagated`).
-const INSTRUMENTED_CRATES: &[&str] = &["core", "frontend"];
+const INSTRUMENTED_CRATES: &[&str] = &["core", "frontend", "server", "client"];
 
 /// One finding, before or after suppression resolution.
 #[derive(Debug, Clone)]

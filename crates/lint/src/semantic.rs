@@ -50,13 +50,20 @@ struct KindArm {
 
 /// Run the pass over the scanned files. The enum and its `kind()` map live
 /// in `crates/core` today; `frontend` (admission-control variants' call
-/// sites) and `cache` are scanned too so the pass keeps working if either
-/// ever hosts them. Workspaces with none of those crates (rule-test
-/// fixtures) have nothing to check.
+/// sites), `cache`, and the wire-protocol crates (`proto` carries the
+/// structural error codec, `server`/`client` its endpoints) are scanned
+/// too so the pass keeps working if any of them ever hosts them.
+/// Workspaces with none of those crates (rule-test fixtures) have nothing
+/// to check.
 pub fn check_error_kinds(files: &[SourceFile]) -> Vec<Diagnostic> {
     let scope: Vec<&SourceFile> = files
         .iter()
-        .filter(|f| matches!(f.class.crate_name.as_str(), "core" | "frontend" | "cache"))
+        .filter(|f| {
+            matches!(
+                f.class.crate_name.as_str(),
+                "core" | "frontend" | "cache" | "proto" | "server" | "client"
+            )
+        })
         .collect();
     if scope.is_empty() {
         return Vec::new();
@@ -154,8 +161,8 @@ pub fn check_error_kinds(files: &[SourceFile]) -> Vec<Diagnostic> {
 
 /// Idents that record a metric or span when called with a string-literal
 /// first argument: registry sinks (`counter`/`gauge`/`histogram`), trace
-/// and stage-span openers (`span`/`root`, fn or macro form), and the
-/// pre-measured recorders (`record`/`record_span`).
+/// and stage-span openers (`span`/`root`/`root_remote`, fn or macro
+/// form), and the pre-measured recorders (`record`/`record_span`).
 const METRIC_SINKS: &[&str] = &[
     "counter",
     "gauge",
@@ -164,6 +171,7 @@ const METRIC_SINKS: &[&str] = &[
     "record",
     "record_span",
     "root",
+    "root_remote",
 ];
 
 /// Run the metric-name pass over every scanned file, against the

@@ -1,0 +1,48 @@
+//! The ADA wire protocol: request/response/error types shared by
+//! `ada-server` and `ada-client`, with a length-prefixed binary framing.
+//!
+//! Extracted from `ada-core`/`ada-frontend` so both sides of the wire
+//! speak the *same* vocabulary the in-process [`ada_frontend::Frontend`]
+//! already arbitrates — the networked path adds transport, not new
+//! semantics (DESIGN.md §16). Like `ada-json`, this crate is entirely
+//! in-tree: no registry dependencies, no derived serialization.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "ADAP"
+//! 4       1     version (currently 1)
+//! 5       4     payload length N, little-endian u32
+//! 9       4     IEEE CRC-32 of the payload (same polynomial as XTCF v2)
+//! 13      N     payload (one encoded request or response)
+//! ```
+//!
+//! A receiver validates magic, version, and declared length (against its
+//! configured maximum, *before* allocating) and then the CRC; every
+//! violation is a typed [`ProtoError`] that surfaces to callers as
+//! [`ada_core::AdaError::Network`]. Payloads are encoded with the
+//! fixed-width little-endian primitives in [`wire`]; every `AdaError`
+//! kind has an exact structural mapping across the wire ([`errmap`]), so
+//! a remote failure reaches the client with the same `kind()` — and for
+//! structured kinds the same fields — as the in-process path.
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+
+pub mod errmap;
+pub mod frame;
+pub mod message;
+pub mod wire;
+
+pub use errmap::{decode_error, encode_error};
+pub use frame::{
+    encode_frame, parse_header, read_frame, verify_payload, write_frame, FrameHeader,
+    DEFAULT_MAX_FRAME, HEADER_LEN, MAGIC, VERSION,
+};
+pub use message::{
+    RequestBody, RequestEnvelope, ResponseBody, ResponseEnvelope, WireCacheStats, WireIngestReport,
+    WirePayload, WireQueryReport,
+};
+pub use wire::{ProtoError, WireReader, WireWriter};

@@ -1,0 +1,761 @@
+//! The request/response vocabulary of the wire — the networked mirror of
+//! `ada_frontend::Request`/`Reply`, plus transport-friendly report types.
+//!
+//! A query's trajectory crosses the wire as canonical XTC bytes (encoded
+//! at [`ada_mdformats::xtc::DEFAULT_PRECISION`]), which is exactly the
+//! byte form the equivalence suites already use to compare results — so
+//! "byte-identical to the in-process path" is a statement about the
+//! actual wire payload, not about a re-encoded copy.
+
+use std::collections::BTreeMap;
+
+use ada_cache::CacheStats;
+use ada_core::{AdaError, IngestReport, QueryReport, RetrievedData};
+use ada_mdformats::xtc::{write_xtc, DEFAULT_PRECISION};
+use ada_mdformats::Trajectory;
+use ada_mdmodel::Tag;
+use ada_storagesim::SimDuration;
+
+use crate::errmap::{decode_error, encode_error};
+use crate::wire::{ProtoError, WireReader, WireWriter};
+
+/// One request as it crosses the wire: routing/tracing envelope plus the
+/// operation body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestEnvelope {
+    /// Connection-local request id, echoed verbatim on the response so a
+    /// pipelining client can match replies to calls.
+    pub id: u64,
+    /// Client name for admission accounting (`frontend.client.{name}.*`).
+    pub client: String,
+    /// The caller's 128-bit trace id; the server mints its root span
+    /// from it (`trace::root_remote`) so both halves of the request seal
+    /// under one id. `0` = caller is not tracing.
+    pub trace_id: u128,
+    /// Queue-wait deadline in nanoseconds, `0` = wait indefinitely.
+    pub deadline_ns: u64,
+    /// The operation.
+    pub body: RequestBody,
+}
+
+/// The operation a request asks the remote `Frontend` to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Liveness probe; answered without touching admission.
+    Ping,
+    /// Real-bytes ingest. `batch_frames == 0` runs the whole-buffer
+    /// path; otherwise the streaming pipeline with that batch size.
+    Ingest {
+        /// Logical dataset name to create.
+        dataset: String,
+        /// `.pdb` contents.
+        pdb_text: String,
+        /// `.xtc` contents.
+        xtc_bytes: Vec<u8>,
+        /// Frames per streaming batch, `0` = whole-buffer ingest.
+        batch_frames: u32,
+    },
+    /// Tag-aware (or full-frame when `tag` is `None`) retrieval.
+    Query {
+        /// Logical dataset to read.
+        dataset: String,
+        /// Active-data tag label, or `None` for the full-frame path.
+        tag: Option<String>,
+    },
+    /// Strided frame-range retrieval of one tag.
+    QueryRange {
+        /// Logical dataset to read.
+        dataset: String,
+        /// Active-data tag label.
+        tag: String,
+        /// First frame (inclusive).
+        start: u64,
+        /// End of the window (exclusive).
+        end: u64,
+        /// Keep every `stride`-th frame.
+        stride: u64,
+    },
+    /// Snapshot of the server's decoded-dropping cache counters.
+    CacheStats,
+}
+
+impl RequestBody {
+    /// Stable lowercase operation name (trace/metric vocabulary).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            RequestBody::Ping => "ping",
+            RequestBody::Ingest { .. } => "ingest",
+            RequestBody::Query { .. } => "query",
+            RequestBody::QueryRange { .. } => "query_range",
+            RequestBody::CacheStats => "cache_stats",
+        }
+    }
+
+    /// The dataset the operation touches, when it touches one — the
+    /// router's shard key.
+    pub fn dataset(&self) -> Option<&str> {
+        match self {
+            RequestBody::Ingest { dataset, .. }
+            | RequestBody::Query { dataset, .. }
+            | RequestBody::QueryRange { dataset, .. } => Some(dataset),
+            RequestBody::Ping | RequestBody::CacheStats => None,
+        }
+    }
+}
+
+impl RequestEnvelope {
+    /// Encode for framing.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u64(self.id);
+        w.put_u128(self.trace_id);
+        w.put_u64(self.deadline_ns);
+        w.put_str(&self.client);
+        match &self.body {
+            RequestBody::Ping => w.put_u8(0),
+            RequestBody::Ingest {
+                dataset,
+                pdb_text,
+                xtc_bytes,
+                batch_frames,
+            } => {
+                w.put_u8(1);
+                w.put_str(dataset);
+                w.put_str(pdb_text);
+                w.put_bytes(xtc_bytes);
+                w.put_u32(*batch_frames);
+            }
+            RequestBody::Query { dataset, tag } => {
+                w.put_u8(2);
+                w.put_str(dataset);
+                w.put_opt_str(tag.as_deref());
+            }
+            RequestBody::QueryRange {
+                dataset,
+                tag,
+                start,
+                end,
+                stride,
+            } => {
+                w.put_u8(3);
+                w.put_str(dataset);
+                w.put_str(tag);
+                w.put_u64(*start);
+                w.put_u64(*end);
+                w.put_u64(*stride);
+            }
+            RequestBody::CacheStats => w.put_u8(4),
+        }
+        w.finish()
+    }
+
+    /// Decode a framed payload.
+    pub fn decode(bytes: &[u8]) -> Result<RequestEnvelope, ProtoError> {
+        let mut r = WireReader::new(bytes);
+        let id = r.get_u64()?;
+        let trace_id = r.get_u128()?;
+        let deadline_ns = r.get_u64()?;
+        let client = r.get_str()?;
+        let body = match r.get_u8()? {
+            0 => RequestBody::Ping,
+            1 => RequestBody::Ingest {
+                dataset: r.get_str()?,
+                pdb_text: r.get_str()?,
+                xtc_bytes: r.get_bytes()?,
+                batch_frames: r.get_u32()?,
+            },
+            2 => RequestBody::Query {
+                dataset: r.get_str()?,
+                tag: r.get_opt_str()?,
+            },
+            3 => RequestBody::QueryRange {
+                dataset: r.get_str()?,
+                tag: r.get_str()?,
+                start: r.get_u64()?,
+                end: r.get_u64()?,
+                stride: r.get_u64()?,
+            },
+            4 => RequestBody::CacheStats,
+            other => {
+                return Err(ProtoError::Malformed(format!(
+                    "unknown request discriminant {}",
+                    other
+                )))
+            }
+        };
+        r.expect_end()?;
+        Ok(RequestEnvelope {
+            id,
+            client,
+            trace_id,
+            deadline_ns,
+            body,
+        })
+    }
+}
+
+/// One response as it crosses the wire.
+#[derive(Debug)]
+pub struct ResponseEnvelope {
+    /// The request id this answers; `0` for connection-level protocol
+    /// errors raised before any request id was readable.
+    pub id: u64,
+    /// Outcome.
+    pub body: ResponseBody,
+}
+
+/// A response's payload: one success shape per operation, or a fully
+/// typed error.
+#[derive(Debug)]
+pub enum ResponseBody {
+    /// Answer to [`RequestBody::Ping`].
+    Pong,
+    /// Answer to [`RequestBody::Ingest`].
+    Ingest(WireIngestReport),
+    /// Answer to [`RequestBody::Query`] / [`RequestBody::QueryRange`].
+    Query(WireQueryReport),
+    /// Answer to [`RequestBody::CacheStats`].
+    CacheStats(WireCacheStats),
+    /// The request failed; the error carries the exact `AdaError`.
+    Error(AdaError),
+}
+
+impl ResponseEnvelope {
+    /// Encode for framing.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u64(self.id);
+        match &self.body {
+            ResponseBody::Pong => w.put_u8(0),
+            ResponseBody::Ingest(rep) => {
+                w.put_u8(1);
+                rep.encode(&mut w);
+            }
+            ResponseBody::Query(rep) => {
+                w.put_u8(2);
+                rep.encode(&mut w);
+            }
+            ResponseBody::CacheStats(s) => {
+                w.put_u8(3);
+                s.encode(&mut w);
+            }
+            ResponseBody::Error(e) => {
+                w.put_u8(255);
+                encode_error(&mut w, e);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode a framed payload.
+    pub fn decode(bytes: &[u8]) -> Result<ResponseEnvelope, ProtoError> {
+        let mut r = WireReader::new(bytes);
+        let id = r.get_u64()?;
+        let body = match r.get_u8()? {
+            0 => ResponseBody::Pong,
+            1 => ResponseBody::Ingest(WireIngestReport::decode(&mut r)?),
+            2 => ResponseBody::Query(WireQueryReport::decode(&mut r)?),
+            3 => ResponseBody::CacheStats(WireCacheStats::decode(&mut r)?),
+            255 => ResponseBody::Error(decode_error(&mut r)?),
+            other => {
+                return Err(ProtoError::Malformed(format!(
+                    "unknown response discriminant {}",
+                    other
+                )))
+            }
+        };
+        r.expect_end()?;
+        Ok(ResponseEnvelope { id, body })
+    }
+}
+
+/// [`IngestReport`] minus the process-local wall-clock profile: the
+/// simulated stage durations and stored-volume accounting, exactly as the
+/// remote middleware computed them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireIngestReport {
+    /// Dataset name.
+    pub dataset: String,
+    /// Decompression time (simulated ns).
+    pub decompress_ns: u128,
+    /// Categorizer time (simulated ns).
+    pub categorize_ns: u128,
+    /// Splitting/filter time (simulated ns).
+    pub split_ns: u128,
+    /// Backend write time (simulated ns).
+    pub write_ns: u128,
+    /// Label/index persistence time (simulated ns).
+    pub label_write_ns: u128,
+    /// Decompressed raw volume.
+    pub raw_bytes: u64,
+    /// Stored bytes per tag label, sorted by label.
+    pub bytes_by_tag: Vec<(String, u64)>,
+}
+
+impl WireIngestReport {
+    /// Strip an [`IngestReport`] to its wire form.
+    pub fn from_report(rep: &IngestReport) -> WireIngestReport {
+        WireIngestReport {
+            dataset: rep.dataset.clone(),
+            decompress_ns: rep.decompress.0,
+            categorize_ns: rep.categorize.0,
+            split_ns: rep.split.0,
+            write_ns: rep.write.0,
+            label_write_ns: rep.label_write.0,
+            raw_bytes: rep.raw_bytes,
+            bytes_by_tag: rep
+                .bytes_by_tag
+                .iter()
+                .map(|(t, b)| (t.as_str().to_string(), *b))
+                .collect(),
+        }
+    }
+
+    /// Rebuild an [`IngestReport`] (the wall-clock `profile` stays on the
+    /// server; it is meaningless in another process).
+    pub fn into_report(self) -> IngestReport {
+        IngestReport {
+            dataset: self.dataset,
+            decompress: SimDuration(self.decompress_ns),
+            categorize: SimDuration(self.categorize_ns),
+            split: SimDuration(self.split_ns),
+            write: SimDuration(self.write_ns),
+            label_write: SimDuration(self.label_write_ns),
+            raw_bytes: self.raw_bytes,
+            bytes_by_tag: self
+                .bytes_by_tag
+                .into_iter()
+                .map(|(t, b)| (Tag::new(t), b))
+                .collect::<BTreeMap<Tag, u64>>(),
+            profile: None,
+        }
+    }
+
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_str(&self.dataset);
+        w.put_u128(self.decompress_ns);
+        w.put_u128(self.categorize_ns);
+        w.put_u128(self.split_ns);
+        w.put_u128(self.write_ns);
+        w.put_u128(self.label_write_ns);
+        w.put_u64(self.raw_bytes);
+        w.put_u32(self.bytes_by_tag.len().min(u32::MAX as usize) as u32);
+        for (tag, bytes) in &self.bytes_by_tag {
+            w.put_str(tag);
+            w.put_u64(*bytes);
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> Result<WireIngestReport, ProtoError> {
+        let dataset = r.get_str()?;
+        let decompress_ns = r.get_u128()?;
+        let categorize_ns = r.get_u128()?;
+        let split_ns = r.get_u128()?;
+        let write_ns = r.get_u128()?;
+        let label_write_ns = r.get_u128()?;
+        let raw_bytes = r.get_u64()?;
+        let n = r.get_u32()? as usize;
+        // Cap the pre-allocation by what the frame can actually hold
+        // (each entry is ≥ 12 encoded bytes) so a hostile count cannot
+        // balloon memory before the reads start failing.
+        let mut bytes_by_tag = Vec::with_capacity(n.min(r.remaining() / 12 + 1));
+        for _ in 0..n {
+            let tag = r.get_str()?;
+            let bytes = r.get_u64()?;
+            bytes_by_tag.push((tag, bytes));
+        }
+        Ok(WireIngestReport {
+            dataset,
+            decompress_ns,
+            categorize_ns,
+            split_ns,
+            write_ns,
+            label_write_ns,
+            raw_bytes,
+            bytes_by_tag,
+        })
+    }
+}
+
+/// The data a query delivers, in wire form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WirePayload {
+    /// Decoded frames, re-encoded as canonical XTC bytes at
+    /// [`DEFAULT_PRECISION`] — the byte form every equivalence suite in
+    /// this repo compares.
+    Xtc(Vec<u8>),
+    /// Size-only payload (synthetic datasets).
+    Synthetic {
+        /// Delivered bytes.
+        bytes: u64,
+        /// Frames represented.
+        frames: u64,
+        /// Atoms per delivered frame.
+        atoms_per_frame: u64,
+    },
+}
+
+/// [`QueryReport`] in wire form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireQueryReport {
+    /// Indexer tag-search time (simulated ns).
+    pub indexer_ns: u128,
+    /// Backend read time (simulated ns).
+    pub read_ns: u128,
+    /// Delivered data.
+    pub payload: WirePayload,
+}
+
+impl WireQueryReport {
+    /// Convert a middleware report for the wire. Fails (as a typed
+    /// `AdaError::Xtc`) only if the trajectory cannot be XTC-encoded,
+    /// which a trajectory that was just XTC-decoded never is.
+    pub fn from_report(rep: &QueryReport) -> Result<WireQueryReport, AdaError> {
+        let payload = match &rep.data {
+            RetrievedData::Real(traj) => WirePayload::Xtc(write_xtc(traj, DEFAULT_PRECISION)?),
+            RetrievedData::Synthetic {
+                bytes,
+                frames,
+                atoms_per_frame,
+            } => WirePayload::Synthetic {
+                bytes: *bytes,
+                frames: *frames,
+                atoms_per_frame: *atoms_per_frame,
+            },
+        };
+        Ok(WireQueryReport {
+            indexer_ns: rep.indexer.0,
+            read_ns: rep.read.0,
+            payload,
+        })
+    }
+
+    /// Decode the payload back into frames (real-mode responses only).
+    pub fn trajectory(&self) -> Result<Trajectory, AdaError> {
+        match &self.payload {
+            WirePayload::Xtc(bytes) => Ok(ada_mdformats::read_xtc(bytes)?),
+            WirePayload::Synthetic { .. } => Err(AdaError::Internal(
+                "synthetic payload carries no frames".to_string(),
+            )),
+        }
+    }
+
+    /// Delivered byte volume (mirrors `RetrievedData::bytes`).
+    pub fn bytes(&self) -> u64 {
+        match &self.payload {
+            WirePayload::Xtc(b) => b.len() as u64,
+            WirePayload::Synthetic { bytes, .. } => *bytes,
+        }
+    }
+
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u128(self.indexer_ns);
+        w.put_u128(self.read_ns);
+        match &self.payload {
+            WirePayload::Xtc(bytes) => {
+                w.put_u8(0);
+                w.put_bytes(bytes);
+            }
+            WirePayload::Synthetic {
+                bytes,
+                frames,
+                atoms_per_frame,
+            } => {
+                w.put_u8(1);
+                w.put_u64(*bytes);
+                w.put_u64(*frames);
+                w.put_u64(*atoms_per_frame);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> Result<WireQueryReport, ProtoError> {
+        let indexer_ns = r.get_u128()?;
+        let read_ns = r.get_u128()?;
+        let payload = match r.get_u8()? {
+            0 => WirePayload::Xtc(r.get_bytes()?),
+            1 => WirePayload::Synthetic {
+                bytes: r.get_u64()?,
+                frames: r.get_u64()?,
+                atoms_per_frame: r.get_u64()?,
+            },
+            other => {
+                return Err(ProtoError::Malformed(format!(
+                    "unknown payload discriminant {}",
+                    other
+                )))
+            }
+        };
+        Ok(WireQueryReport {
+            indexer_ns,
+            read_ns,
+            payload,
+        })
+    }
+}
+
+/// [`CacheStats`] in wire form (field-for-field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireCacheStats {
+    /// Lookups that returned a resident payload.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Payloads stored.
+    pub inserts: u64,
+    /// Entries evicted by the CLOCK hand.
+    pub evictions: u64,
+    /// Inserts refused by admission.
+    pub bypasses: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: u64,
+    /// High-water mark of `resident_bytes`.
+    pub resident_hwm: u64,
+    /// Frame-payload bytes decoded from droppings.
+    pub bytes_decoded: u64,
+    /// Frame-payload bytes served from resident entries.
+    pub bytes_served_from_cache: u64,
+}
+
+impl From<CacheStats> for WireCacheStats {
+    fn from(s: CacheStats) -> WireCacheStats {
+        WireCacheStats {
+            hits: s.hits,
+            misses: s.misses,
+            inserts: s.inserts,
+            evictions: s.evictions,
+            bypasses: s.bypasses,
+            resident_bytes: s.resident_bytes,
+            resident_hwm: s.resident_hwm,
+            bytes_decoded: s.bytes_decoded,
+            bytes_served_from_cache: s.bytes_served_from_cache,
+        }
+    }
+}
+
+impl WireCacheStats {
+    fn encode(&self, w: &mut WireWriter) {
+        for v in [
+            self.hits,
+            self.misses,
+            self.inserts,
+            self.evictions,
+            self.bypasses,
+            self.resident_bytes,
+            self.resident_hwm,
+            self.bytes_decoded,
+            self.bytes_served_from_cache,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> Result<WireCacheStats, ProtoError> {
+        Ok(WireCacheStats {
+            hits: r.get_u64()?,
+            misses: r.get_u64()?,
+            inserts: r.get_u64()?,
+            evictions: r.get_u64()?,
+            bypasses: r.get_u64()?,
+            resident_bytes: r.get_u64()?,
+            resident_hwm: r.get_u64()?,
+            bytes_decoded: r.get_u64()?,
+            bytes_served_from_cache: r.get_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_envelopes_round_trip() {
+        let cases = vec![
+            RequestEnvelope {
+                id: 1,
+                client: "c0".into(),
+                trace_id: 0,
+                deadline_ns: 0,
+                body: RequestBody::Ping,
+            },
+            RequestEnvelope {
+                id: 2,
+                client: "c1".into(),
+                trace_id: 0xfeed_beef,
+                deadline_ns: 1_000_000,
+                body: RequestBody::Ingest {
+                    dataset: "ds".into(),
+                    pdb_text: "ATOM".into(),
+                    xtc_bytes: vec![1, 2, 3, 4],
+                    batch_frames: 0,
+                },
+            },
+            RequestEnvelope {
+                id: 3,
+                client: "c2".into(),
+                trace_id: 7,
+                deadline_ns: 0,
+                body: RequestBody::Query {
+                    dataset: "ds".into(),
+                    tag: Some("p".into()),
+                },
+            },
+            RequestEnvelope {
+                id: 4,
+                client: "c3".into(),
+                trace_id: 0,
+                deadline_ns: 0,
+                body: RequestBody::Query {
+                    dataset: "ds".into(),
+                    tag: None,
+                },
+            },
+            RequestEnvelope {
+                id: 5,
+                client: "c4".into(),
+                trace_id: u128::MAX,
+                deadline_ns: u64::MAX,
+                body: RequestBody::QueryRange {
+                    dataset: "ds".into(),
+                    tag: "p".into(),
+                    start: 10,
+                    end: 90,
+                    stride: 4,
+                },
+            },
+            RequestEnvelope {
+                id: 6,
+                client: "ops".into(),
+                trace_id: 0,
+                deadline_ns: 0,
+                body: RequestBody::CacheStats,
+            },
+        ];
+        for req in cases {
+            let bytes = req.encode();
+            let back = RequestEnvelope::decode(&bytes).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn response_reports_round_trip() {
+        let ingest = WireIngestReport {
+            dataset: "ds".into(),
+            decompress_ns: 1,
+            categorize_ns: 2,
+            split_ns: 3,
+            write_ns: 4,
+            label_write_ns: 5,
+            raw_bytes: 1024,
+            bytes_by_tag: vec![("m".into(), 7), ("p".into(), 1000)],
+        };
+        let resp = ResponseEnvelope {
+            id: 9,
+            body: ResponseBody::Ingest(ingest.clone()),
+        };
+        match ResponseEnvelope::decode(&resp.encode()).unwrap().body {
+            ResponseBody::Ingest(back) => assert_eq!(back, ingest),
+            other => panic!("wrong body {:?}", other),
+        }
+
+        let query = WireQueryReport {
+            indexer_ns: 11,
+            read_ns: 22,
+            payload: WirePayload::Xtc(vec![9, 8, 7]),
+        };
+        let resp = ResponseEnvelope {
+            id: 10,
+            body: ResponseBody::Query(query.clone()),
+        };
+        match ResponseEnvelope::decode(&resp.encode()).unwrap().body {
+            ResponseBody::Query(back) => assert_eq!(back, query),
+            other => panic!("wrong body {:?}", other),
+        }
+
+        let stats = WireCacheStats {
+            hits: 5,
+            misses: 2,
+            ..WireCacheStats::default()
+        };
+        let resp = ResponseEnvelope {
+            id: 11,
+            body: ResponseBody::CacheStats(stats),
+        };
+        match ResponseEnvelope::decode(&resp.encode()).unwrap().body {
+            ResponseBody::CacheStats(back) => assert_eq!(back, stats),
+            other => panic!("wrong body {:?}", other),
+        }
+    }
+
+    #[test]
+    fn error_response_keeps_the_kind() {
+        let resp = ResponseEnvelope {
+            id: 3,
+            body: ResponseBody::Error(AdaError::UnknownDataset("nope".into())),
+        };
+        match ResponseEnvelope::decode(&resp.encode()).unwrap().body {
+            ResponseBody::Error(e) => assert_eq!(e.kind(), "unknown_dataset"),
+            other => panic!("wrong body {:?}", other),
+        }
+    }
+
+    #[test]
+    fn ingest_report_round_trips_through_core_type() {
+        let wire = WireIngestReport {
+            dataset: "ds".into(),
+            decompress_ns: 10,
+            categorize_ns: 20,
+            split_ns: 30,
+            write_ns: 40,
+            label_write_ns: 50,
+            raw_bytes: 4096,
+            bytes_by_tag: vec![("m".into(), 96), ("p".into(), 4000)],
+        };
+        let rep = wire.clone().into_report();
+        assert_eq!(rep.total().0, 150);
+        assert_eq!(WireIngestReport::from_report(&rep), wire);
+    }
+
+    #[test]
+    fn query_report_payload_survives_the_wire_byte_for_byte() {
+        let w = ada_workload::gpcr_workload(120, 3, 5);
+        let bytes = write_xtc(&w.trajectory, DEFAULT_PRECISION).unwrap();
+        let rep = WireQueryReport {
+            indexer_ns: 0,
+            read_ns: 0,
+            payload: WirePayload::Xtc(bytes.clone()),
+        };
+        let resp = ResponseEnvelope {
+            id: 1,
+            body: ResponseBody::Query(rep),
+        };
+        match ResponseEnvelope::decode(&resp.encode()).unwrap().body {
+            ResponseBody::Query(back) => {
+                assert_eq!(back.payload, WirePayload::Xtc(bytes));
+                assert_eq!(back.trajectory().unwrap().len(), 3);
+            }
+            other => panic!("wrong body {:?}", other),
+        }
+    }
+
+    #[test]
+    fn truncated_request_is_typed() {
+        let req = RequestEnvelope {
+            id: 1,
+            client: "c".into(),
+            trace_id: 0,
+            deadline_ns: 0,
+            body: RequestBody::Ping,
+        };
+        let bytes = req.encode();
+        for cut in [0, 5, bytes.len() - 1] {
+            assert!(
+                RequestEnvelope::decode(&bytes[..cut]).is_err(),
+                "cut at {} must fail decode",
+                cut
+            );
+        }
+    }
+}

@@ -353,11 +353,24 @@ impl Drop for TraceSpanGuard {
 /// guard. With tracing off, both are inert. The root guard must outlive
 /// every worker of the request (drop it last).
 pub fn root(op: &'static str) -> (TraceContext, TraceSpanGuard) {
+    root_with_id(op, None)
+}
+
+/// Mint a new trace rooted at `op` that *continues* a trace id carried
+/// over the wire (the networked RPC path): the server's span tree seals
+/// under the same 128-bit id the client minted, so the flight recorder
+/// holds one client-side and one server-side tree per request, joined by
+/// id. `id == 0` (an untraced remote caller) falls back to a fresh id.
+pub fn root_remote(op: &'static str, id: u128) -> (TraceContext, TraceSpanGuard) {
+    root_with_id(op, (id != 0).then_some(id))
+}
+
+fn root_with_id(op: &'static str, id: Option<u128>) -> (TraceContext, TraceSpanGuard) {
     if !tracing_enabled() {
         return (TraceContext::inactive(), TraceSpanGuard { live: None });
     }
     let trace = Arc::new(ActiveTrace {
-        id: next_trace_id(),
+        id: id.unwrap_or_else(next_trace_id),
         op,
         next_span: AtomicU64::new(2),
         spans: Mutex::new(Vec::with_capacity(16)),

@@ -1,0 +1,354 @@
+//! Satellite suite (ISSUE 10): the networked path is semantically
+//! transparent.
+//!
+//! What must hold:
+//! * eight mixed ingest/query/query_range clients over real TCP get
+//!   results byte-identical to a serial rerun of the same accepted set
+//!   on a fresh, in-process instance (queries cross the wire as
+//!   canonical XTC bytes, so the comparison is on the actual payload);
+//! * remote errors keep their exact `kind()` — `unknown_dataset` and
+//!   `invalid_range` cross the wire as themselves, not as a generic
+//!   network failure;
+//! * a traced remote request seals ONE connected tree under the
+//!   client's trace id: the server's spans are rooted from the
+//!   wire-carried id instead of minting a disconnected root.
+
+use std::sync::{Arc, Barrier, Mutex, MutexGuard};
+
+use ada_client::{Client, ClientConfig};
+use ada_core::{Ada, AdaConfig, IngestInput, RetrievedData};
+use ada_frontend::{Frontend, FrontendConfig};
+use ada_mdmodel::Tag;
+use ada_plfs::ContainerSet;
+use ada_server::{Server, ServerConfig};
+use ada_simfs::{LocalFs, SimFileSystem};
+use ada_telemetry::trace;
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn make_ada() -> Arc<Ada> {
+    let ssd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_nvme());
+    let hdd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_hdd());
+    let cs = Arc::new(ContainerSet::new(vec![
+        ("ssd".into(), ssd.clone()),
+        ("hdd".into(), hdd),
+    ]));
+    Arc::new(Ada::new(AdaConfig::paper_prototype("ssd", "hdd"), cs, ssd))
+}
+
+fn start_server() -> Server {
+    let fe = Arc::new(Frontend::new(
+        make_ada(),
+        FrontendConfig {
+            ingest_slots: 2,
+            query_slots: 4,
+            ingest_queue: 64,
+            query_queue: 64,
+            default_deadline: None,
+            ..FrontendConfig::default()
+        },
+    ));
+    Server::start(fe, ServerConfig::default()).expect("server must start")
+}
+
+fn client_for(server: &Server, name: &str) -> Client {
+    Client::new(
+        server.local_addr().to_string(),
+        ClientConfig {
+            name: name.to_string(),
+            ..ClientConfig::default()
+        },
+    )
+}
+
+/// `(pdb_text, xtc_bytes)` of a deterministic workload.
+fn real_bytes(natoms: usize, nframes: usize, seed: u64) -> (String, Vec<u8>) {
+    let w = ada_workload::gpcr_workload(natoms, nframes, seed);
+    (
+        ada_mdformats::write_pdb(&w.system),
+        ada_mdformats::xtc::write_xtc(&w.trajectory, ada_mdformats::xtc::DEFAULT_PRECISION)
+            .unwrap(),
+    )
+}
+
+fn real_input(natoms: usize, nframes: usize, seed: u64) -> IngestInput {
+    let (pdb_text, xtc_bytes) = real_bytes(natoms, nframes, seed);
+    IngestInput::Real {
+        pdb_text,
+        xtc_bytes,
+    }
+}
+
+/// Canonical byte form of an in-process query result.
+fn query_bytes(rep: ada_core::QueryReport) -> Vec<u8> {
+    match rep.data {
+        RetrievedData::Real(traj) => {
+            ada_mdformats::xtc::write_xtc(&traj, ada_mdformats::xtc::DEFAULT_PRECISION).unwrap()
+        }
+        other => panic!("expected real data, got {:?}", other),
+    }
+}
+
+/// The wire payload of a remote query (already canonical XTC bytes).
+fn wire_bytes(rep: ada_proto::WireQueryReport) -> Vec<u8> {
+    match rep.payload {
+        ada_proto::WirePayload::Xtc(bytes) => bytes,
+        other => panic!("expected XTC payload, got {:?}", other),
+    }
+}
+
+fn tag_cycle(i: usize) -> Option<Tag> {
+    match i % 3 {
+        0 => Some(Tag::protein()),
+        1 => Some(Tag::misc()),
+        _ => None,
+    }
+}
+
+/// One client's operation log entry, replayable against a serial
+/// in-process reference.
+enum Op {
+    Query {
+        dataset: String,
+        tag_idx: usize,
+        bytes: Vec<u8>,
+    },
+    QueryRange {
+        dataset: String,
+        start: usize,
+        end: usize,
+        stride: usize,
+        bytes: Vec<u8>,
+    },
+}
+
+/// Eight mixed clients over real TCP; every harvested payload must match
+/// a serial in-process rerun byte for byte.
+#[test]
+fn eight_tcp_clients_match_in_process_serial_byte_for_byte() {
+    let _guard = serialize();
+    const CLIENTS: usize = 8;
+    const QUERIES_PER_CLIENT: usize = 4;
+    let mut server = start_server();
+
+    // Shared dataset every client can read.
+    let (pdb, xtc) = real_bytes(500, 6, 7);
+    client_for(&server, "setup")
+        .ingest("shared", &pdb, &xtc, 0)
+        .unwrap();
+
+    let barrier = Barrier::new(CLIENTS);
+    let mut harvested: Vec<Op> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..CLIENTS {
+            let server = &server;
+            let barrier = &barrier;
+            handles.push(scope.spawn(move || {
+                let client = client_for(server, &format!("c{}", t));
+                barrier.wait();
+                let mut out = Vec::new();
+                // Odd clients first ingest a private dataset — half of
+                // them through the streaming path — exercising
+                // ingest/query interleaving over the wire.
+                let dataset = if t % 2 == 1 {
+                    let name = format!("ds{}", t);
+                    let (pdb, xtc) = real_bytes(400, 4, 100 + t as u64);
+                    let batch = if t % 4 == 1 { 2 } else { 0 };
+                    client.ingest(&name, &pdb, &xtc, batch).unwrap();
+                    name
+                } else {
+                    "shared".to_string()
+                };
+                for i in 0..QUERIES_PER_CLIENT {
+                    if i == QUERIES_PER_CLIENT - 1 {
+                        // Last op: a strided range read of the protein tag.
+                        let rep = client.query_range(&dataset, "p", 0, 4, 2).unwrap();
+                        out.push(Op::QueryRange {
+                            dataset: dataset.clone(),
+                            start: 0,
+                            end: 4,
+                            stride: 2,
+                            bytes: wire_bytes(rep),
+                        });
+                    } else {
+                        let tag = tag_cycle(i);
+                        let rep = client
+                            .query(&dataset, tag.as_ref().map(|t| t.as_str()))
+                            .unwrap();
+                        out.push(Op::Query {
+                            dataset: dataset.clone(),
+                            tag_idx: i % 3,
+                            bytes: wire_bytes(rep),
+                        });
+                    }
+                }
+                out
+            }));
+        }
+        for h in handles {
+            harvested.extend(h.join().expect("client thread must not panic"));
+        }
+    });
+    server.shutdown();
+    assert_eq!(harvested.len(), CLIENTS * QUERIES_PER_CLIENT);
+
+    // Serial reference: a fresh in-process instance, one thread.
+    let serial = make_ada();
+    serial.ingest("shared", real_input(500, 6, 7)).unwrap();
+    for t in (1..CLIENTS).step_by(2) {
+        serial
+            .ingest(&format!("ds{}", t), real_input(400, 4, 100 + t as u64))
+            .unwrap();
+    }
+    for op in &harvested {
+        match op {
+            Op::Query {
+                dataset,
+                tag_idx,
+                bytes,
+            } => {
+                let tag = tag_cycle(*tag_idx);
+                let expect = query_bytes(serial.query(dataset, tag.as_ref()).unwrap());
+                assert_eq!(
+                    &expect, bytes,
+                    "remote query of {} (tag {:?}) diverged from in-process serial",
+                    dataset, tag
+                );
+            }
+            Op::QueryRange {
+                dataset,
+                start,
+                end,
+                stride,
+                bytes,
+            } => {
+                let expect = query_bytes(
+                    serial
+                        .query_range(dataset, &Tag::protein(), *start..*end, *stride)
+                        .unwrap(),
+                );
+                assert_eq!(
+                    &expect, bytes,
+                    "remote range query of {} diverged from in-process serial",
+                    dataset
+                );
+            }
+        }
+    }
+}
+
+/// Remote failures keep their exact kind: the wire carries the full
+/// `AdaError` structure, not a lossy "remote error" wrapper.
+#[test]
+fn remote_error_kinds_match_in_process() {
+    let _guard = serialize();
+    let mut server = start_server();
+    let client = client_for(&server, "errs");
+    let (pdb, xtc) = real_bytes(300, 3, 21);
+    client.ingest("ds", &pdb, &xtc, 0).unwrap();
+
+    // unknown dataset
+    let remote = client.query("no-such-dataset", None).unwrap_err();
+    assert_eq!(remote.kind(), "unknown_dataset");
+
+    // invalid range (frames beyond the trajectory)
+    let remote = client.query_range("ds", "p", 0, 5000, 1).unwrap_err();
+    assert_eq!(remote.kind(), "invalid_range");
+
+    // unknown tag
+    let remote = client.query("ds", Some("zz")).unwrap_err();
+    assert_eq!(remote.kind(), "unknown_tag");
+
+    // In-process reference: identical kinds AND identical Display text.
+    let serial = make_ada();
+    serial.ingest("ds", real_input(300, 3, 21)).unwrap();
+    let local = serial.query("no-such-dataset", None).unwrap_err();
+    let remote = client.query("no-such-dataset", None).unwrap_err();
+    assert_eq!(local.kind(), remote.kind());
+    assert_eq!(local.to_string(), remote.to_string());
+    let local = serial
+        .query_range("ds", &Tag::protein(), 0..5000, 1)
+        .unwrap_err();
+    let remote = client.query_range("ds", "p", 0, 5000, 1).unwrap_err();
+    assert_eq!(local.kind(), remote.kind());
+    assert_eq!(local.to_string(), remote.to_string());
+
+    server.shutdown();
+}
+
+/// Ingest reports survive the wire: simulated stage durations and the
+/// stored-volume accounting match an identical in-process ingest.
+#[test]
+fn remote_ingest_report_matches_in_process() {
+    let _guard = serialize();
+    let mut server = start_server();
+    let client = client_for(&server, "rep");
+    let (pdb, xtc) = real_bytes(350, 4, 33);
+    let wire = client.ingest("ds", &pdb, &xtc, 0).unwrap();
+    server.shutdown();
+
+    let serial = make_ada();
+    let local = serial.ingest("ds", real_input(350, 4, 33)).unwrap();
+    let rebuilt = wire.into_report();
+    assert_eq!(rebuilt.dataset, local.dataset);
+    assert_eq!(rebuilt.raw_bytes, local.raw_bytes);
+    assert_eq!(rebuilt.bytes_by_tag, local.bytes_by_tag);
+    assert_eq!(rebuilt.total(), local.total());
+}
+
+/// A traced remote request produces ONE server-side tree sealed under
+/// the client's trace id — the wire carries the id, `root_remote` adopts
+/// it, and the frontend's spans nest under that root.
+#[test]
+fn server_trace_tree_adopts_the_wire_trace_id() {
+    let _guard = serialize();
+    trace::set_tracing(true);
+    trace::recorder().clear();
+
+    let mut server = start_server();
+    let client = client_for(&server, "traced");
+    let (pdb, xtc) = real_bytes(300, 3, 55);
+    client.ingest("ds", &pdb, &xtc, 0).unwrap();
+    client.query("ds", Some("p")).unwrap();
+    server.shutdown();
+
+    let traces = trace::recorder().recent();
+    let client_roots: Vec<_> = traces
+        .iter()
+        .filter(|t| {
+            t.root()
+                .map(|r| r.name == "client.request")
+                .unwrap_or(false)
+        })
+        .collect();
+    let server_roots: Vec<_> = traces
+        .iter()
+        .filter(|t| {
+            t.root()
+                .map(|r| r.name == "server.request")
+                .unwrap_or(false)
+        })
+        .collect();
+    assert_eq!(client_roots.len(), 2, "one client tree per request");
+    assert_eq!(server_roots.len(), 2, "one server tree per request");
+    for st in &server_roots {
+        assert!(
+            client_roots.iter().any(|ct| ct.id == st.id),
+            "server tree {:x} does not share its id with any client tree",
+            st.id
+        );
+        // The frontend's spans sealed under the adopted root: the tree
+        // has more than the bare root span.
+        assert!(
+            st.spans.len() > 1,
+            "server tree {:x} carries no frontend spans",
+            st.id
+        );
+    }
+    trace::set_tracing(false);
+}

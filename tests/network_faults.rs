@@ -1,0 +1,461 @@
+//! Satellite suite (ISSUE 10): protocol fault injection.
+//!
+//! Every frame in the hostile corpus — truncated frame, flipped CRC
+//! byte, bad magic, oversized declared length, mid-response connection
+//! drop, slow-loris half-written header — must yield a *typed*
+//! `AdaError` on the receiving side, never a hang or a panic, with
+//! bounded memory (oversized declarations are rejected before
+//! allocation), and both sides must stay usable for well-formed peers
+//! afterwards. The corpus runs against the real server with 0, 1, 4,
+//! and 8 well-behaved background client threads hammering it the whole
+//! time.
+
+use std::io::Write;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use ada_client::{Client, ClientConfig};
+use ada_core::{Ada, AdaConfig};
+use ada_frontend::{Frontend, FrontendConfig};
+use ada_plfs::ContainerSet;
+use ada_proto::{
+    encode_frame, read_frame, RequestBody, RequestEnvelope, ResponseBody, ResponseEnvelope,
+    DEFAULT_MAX_FRAME,
+};
+use ada_server::{Server, ServerConfig};
+use ada_simfs::{LocalFs, SimFileSystem};
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn make_ada() -> Arc<Ada> {
+    let ssd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_nvme());
+    let hdd: Arc<dyn SimFileSystem> = Arc::new(LocalFs::ext4_on_hdd());
+    let cs = Arc::new(ContainerSet::new(vec![
+        ("ssd".into(), ssd.clone()),
+        ("hdd".into(), hdd),
+    ]));
+    Arc::new(Ada::new(AdaConfig::paper_prototype("ssd", "hdd"), cs, ssd))
+}
+
+/// A server with short fault deadlines (so slow-loris eviction is fast)
+/// and a 1 MiB frame limit (so the oversized case is cheap to assert).
+fn start_fault_server() -> Server {
+    let fe = Arc::new(Frontend::new(
+        make_ada(),
+        FrontendConfig {
+            ingest_slots: 2,
+            query_slots: 4,
+            ingest_queue: 64,
+            query_queue: 64,
+            default_deadline: None,
+            ..FrontendConfig::default()
+        },
+    ));
+    Server::start(
+        fe,
+        ServerConfig {
+            idle_timeout: Duration::from_secs(5),
+            frame_timeout: Duration::from_millis(300),
+            max_frame_len: 1 << 20,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server must start")
+}
+
+fn well_behaved_client(server: &Server, name: &str) -> Client {
+    Client::new(
+        server.local_addr().to_string(),
+        ClientConfig {
+            name: name.to_string(),
+            io_timeout: Duration::from_secs(10),
+            ..ClientConfig::default()
+        },
+    )
+}
+
+/// Raw evil socket with a bounded read patience (a hung server would
+/// otherwise hang the test — the timeout IS the no-hang assertion).
+fn evil_socket(server: &Server) -> TcpStream {
+    let s = TcpStream::connect(server.local_addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s
+}
+
+fn ping_payload() -> Vec<u8> {
+    RequestEnvelope {
+        id: 7,
+        client: "evil".to_string(),
+        trace_id: 0,
+        deadline_ns: 0,
+        body: RequestBody::Ping,
+    }
+    .encode()
+}
+
+/// Read one response envelope off an evil socket.
+fn read_response(stream: &mut TcpStream) -> Option<ResponseEnvelope> {
+    match read_frame(stream, DEFAULT_MAX_FRAME) {
+        Ok(Some(payload)) => Some(ResponseEnvelope::decode(&payload).expect("valid response")),
+        Ok(None) => None,
+        Err(e) => panic!("reading the server's response failed: {:?}", e),
+    }
+}
+
+fn assert_network_error(resp: Option<ResponseEnvelope>, what: &str) {
+    match resp {
+        Some(ResponseEnvelope {
+            body: ResponseBody::Error(e),
+            ..
+        }) => assert_eq!(e.kind(), "network", "{}: wrong kind: {}", what, e),
+        Some(other) => panic!("{}: expected an error frame, got {:?}", what, other.body),
+        // The server may also have torn the connection down before the
+        // best-effort error frame made it out; EOF is an acceptable
+        // outcome for a protocol violation, a hang is not.
+        None => {}
+    }
+}
+
+/// The six-fault corpus against a live server. Each fault uses a fresh
+/// evil connection; the final step proves the server still serves
+/// well-formed peers.
+fn run_fault_corpus(server: &Server) {
+    // 1. Truncated frame: header declares 64 payload bytes, 10 arrive,
+    //    then the write side closes.
+    let mut s = evil_socket(server);
+    let frame = encode_frame(&[0xab; 64]).unwrap();
+    s.write_all(&frame[..frame.len() - 54]).unwrap();
+    s.shutdown(Shutdown::Write).unwrap();
+    assert_network_error(read_response(&mut s), "truncated frame");
+
+    // 2. Flipped CRC byte.
+    let mut s = evil_socket(server);
+    let mut frame = encode_frame(&ping_payload()).unwrap();
+    frame[9] ^= 0x01;
+    s.write_all(&frame).unwrap();
+    assert_network_error(read_response(&mut s), "flipped crc");
+
+    // 3. Bad magic.
+    let mut s = evil_socket(server);
+    let mut frame = encode_frame(&ping_payload()).unwrap();
+    frame[0] = b'X';
+    s.write_all(&frame).unwrap();
+    assert_network_error(read_response(&mut s), "bad magic");
+
+    // 4. Oversized declared length: 4 GiB declared against a 1 MiB
+    //    limit. The server must reject from the header alone — before
+    //    allocating — so the response arrives although no payload was
+    //    ever sent.
+    let mut s = evil_socket(server);
+    let mut frame = encode_frame(&[0u8; 4]).unwrap();
+    frame[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+    s.write_all(&frame[..13]).unwrap();
+    let started = Instant::now();
+    assert_network_error(read_response(&mut s), "oversized length");
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "oversized declaration must be rejected from the header, not awaited"
+    );
+
+    // 5. Mid-response connection drop: a valid request whose sender
+    //    vanishes before reading the reply. The server's write fails
+    //    internally; nothing may leak or wedge.
+    let mut s = evil_socket(server);
+    let frame = encode_frame(&ping_payload()).unwrap();
+    s.write_all(&frame).unwrap();
+    drop(s);
+
+    // 6. Slow-loris: half a header, then silence. The server's frame
+    //    deadline must evict the connection in bounded time.
+    let mut s = evil_socket(server);
+    let frame = encode_frame(&ping_payload()).unwrap();
+    s.write_all(&frame[..5]).unwrap();
+    let started = Instant::now();
+    assert_network_error(read_response(&mut s), "slow loris");
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "slow-loris eviction took {:?}",
+        started.elapsed()
+    );
+
+    // 7. Well-framed garbage: the CRC is valid, the payload is not a
+    //    request. The stream stays aligned, so the server answers with a
+    //    typed error and KEEPS the connection — a ping on the same
+    //    socket must still work.
+    let mut s = evil_socket(server);
+    let frame = encode_frame(&[0xff, 0xee, 0xdd]).unwrap();
+    s.write_all(&frame).unwrap();
+    match read_response(&mut s) {
+        Some(ResponseEnvelope {
+            body: ResponseBody::Error(e),
+            ..
+        }) => assert_eq!(e.kind(), "network"),
+        other => panic!("well-framed garbage: expected error frame, got {:?}", other),
+    }
+    let frame = encode_frame(&ping_payload()).unwrap();
+    s.write_all(&frame).unwrap();
+    match read_response(&mut s) {
+        Some(ResponseEnvelope {
+            id: 7,
+            body: ResponseBody::Pong,
+        }) => {}
+        other => panic!("connection unusable after recoverable fault: {:?}", other),
+    }
+}
+
+/// The corpus with N background clients hammering the same server; every
+/// background request must resolve Ok (the server stays fully usable
+/// while hostile peers are being evicted).
+fn corpus_under_background_load(background: usize) {
+    let _guard = serialize();
+    let server = start_fault_server();
+    let w = ada_workload::gpcr_workload(300, 3, 17);
+    let pdb = ada_mdformats::write_pdb(&w.system);
+    let xtc = ada_mdformats::xtc::write_xtc(&w.trajectory, ada_mdformats::xtc::DEFAULT_PRECISION)
+        .unwrap();
+    well_behaved_client(&server, "setup")
+        .ingest("shared", &pdb, &xtc, 0)
+        .unwrap();
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..background {
+            let server = &server;
+            let stop = &stop;
+            handles.push(scope.spawn(move || {
+                let client = well_behaved_client(server, &format!("bg{}", t));
+                let mut served = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    client.query("shared", Some("p")).expect("background query");
+                    served += 1;
+                }
+                served
+            }));
+        }
+
+        run_fault_corpus(&server);
+
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            let served = h.join().expect("background client must not panic");
+            assert!(served > 0, "background client never got a request through");
+        }
+    });
+
+    // The server is still healthy for a fresh client after the corpus.
+    well_behaved_client(&server, "after")
+        .query("shared", None)
+        .unwrap();
+}
+
+#[test]
+fn fault_corpus_with_0_background_clients() {
+    corpus_under_background_load(0);
+}
+
+#[test]
+fn fault_corpus_with_1_background_client() {
+    corpus_under_background_load(1);
+}
+
+#[test]
+fn fault_corpus_with_4_background_clients() {
+    corpus_under_background_load(4);
+}
+
+#[test]
+fn fault_corpus_with_8_background_clients() {
+    corpus_under_background_load(8);
+}
+
+/// The client side of the corpus: a hostile/broken server must surface
+/// as typed `AdaError::Network` on the real client — bounded time, no
+/// panic — and the client must redial cleanly afterwards.
+#[test]
+fn hostile_server_yields_typed_client_errors() {
+    let _guard = serialize();
+
+    // Each scenario scripts what the "server" writes after accepting.
+    type Script = Box<dyn Fn(&mut TcpStream) + Send>;
+    let scenarios: Vec<(&str, Script)> = vec![
+        ("eof instead of response", Box::new(|_s| {})),
+        (
+            "truncated response frame",
+            Box::new(|s| {
+                let frame = encode_frame(&[0xcd; 100]).unwrap();
+                s.write_all(&frame[..frame.len() - 90]).unwrap();
+            }),
+        ),
+        (
+            "flipped response crc",
+            Box::new(|s| {
+                let mut frame = encode_frame(&[1, 2, 3, 4]).unwrap();
+                frame[10] ^= 0x80;
+                s.write_all(&frame).unwrap();
+            }),
+        ),
+        (
+            "bad response magic",
+            Box::new(|s| {
+                let mut frame = encode_frame(&[1, 2, 3, 4]).unwrap();
+                frame[0] = b'Z';
+                s.write_all(&frame).unwrap();
+            }),
+        ),
+        (
+            "oversized response declaration",
+            Box::new(|s| {
+                let mut frame = encode_frame(&[0u8; 4]).unwrap();
+                frame[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+                s.write_all(&frame[..13]).unwrap();
+                std::thread::sleep(Duration::from_millis(600));
+            }),
+        ),
+        (
+            "slow-loris response header",
+            Box::new(|s| {
+                let frame = encode_frame(&[0u8; 4]).unwrap();
+                s.write_all(&frame[..5]).unwrap();
+                // Stall past the client's io timeout.
+                std::thread::sleep(Duration::from_millis(900));
+            }),
+        ),
+        (
+            "well-framed garbage response",
+            Box::new(|s| {
+                let frame = encode_frame(&[0xff; 7]).unwrap();
+                s.write_all(&frame).unwrap();
+            }),
+        ),
+    ];
+
+    for (what, script) in scenarios {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let evil = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            // Consume the request frame (scripts that answer before
+            // reading would deadlock a large request otherwise).
+            let _ = read_frame(&mut stream, DEFAULT_MAX_FRAME);
+            script(&mut stream);
+            let _ = stream.shutdown(Shutdown::Both);
+        });
+
+        let client = Client::new(
+            addr.to_string(),
+            ClientConfig {
+                name: "victim".to_string(),
+                io_timeout: Duration::from_millis(500),
+                ..ClientConfig::default()
+            },
+        );
+        let started = Instant::now();
+        let err = client.ping().expect_err(what);
+        assert_eq!(err.kind(), "network", "{}: {}", what, err);
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "{}: client took {:?} to fail",
+            what,
+            started.elapsed()
+        );
+        evil.join().expect("evil server thread must not panic");
+
+        // The poisoned connection is dropped; the next call redials and
+        // fails with a typed connect error (the listener is gone), not a
+        // hang or a panic on a stale socket.
+        let err = client.ping().expect_err("listener is gone");
+        assert_eq!(err.kind(), "network");
+    }
+}
+
+/// Graceful shutdown with clients in flight: every in-flight call either
+/// completes or fails typed; `shutdown()` joins every server thread; the
+/// port stops accepting.
+#[test]
+fn graceful_shutdown_with_clients_in_flight() {
+    let _guard = serialize();
+    let mut server = start_fault_server();
+    let addr = server.local_addr();
+    let w = ada_workload::gpcr_workload(300, 3, 29);
+    let pdb = ada_mdformats::write_pdb(&w.system);
+    let xtc = ada_mdformats::xtc::write_xtc(&w.trajectory, ada_mdformats::xtc::DEFAULT_PRECISION)
+        .unwrap();
+    well_behaved_client(&server, "setup")
+        .ingest("shared", &pdb, &xtc, 0)
+        .unwrap();
+
+    let stop = AtomicBool::new(false);
+    let mut total_ok = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let stop = &stop;
+            let addr_s = addr.to_string();
+            handles.push(scope.spawn(move || {
+                let client = Client::new(
+                    addr_s,
+                    ClientConfig {
+                        name: format!("inflight{}", t),
+                        connect_timeout: Duration::from_secs(1),
+                        io_timeout: Duration::from_secs(5),
+                        ..ClientConfig::default()
+                    },
+                );
+                let mut ok = 0u64;
+                let mut err_kind = None;
+                while !stop.load(Ordering::Relaxed) {
+                    match client.query("shared", Some("p")) {
+                        Ok(_) => ok += 1,
+                        Err(e) => {
+                            err_kind = Some(e.kind().to_string());
+                            break;
+                        }
+                    }
+                }
+                (ok, err_kind)
+            }));
+        }
+        // Let the clients get in flight, then pull the plug mid-stream.
+        // shutdown() returning means every server thread was joined.
+        std::thread::sleep(Duration::from_millis(100));
+        server.shutdown();
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            let (ok, err_kind) = h.join().expect("client thread must not panic");
+            total_ok += ok;
+            if let Some(kind) = err_kind {
+                // In-flight work severed by shutdown fails typed, as a
+                // transport error or a shed — never an untyped shape.
+                assert!(
+                    kind == "network" || kind == "overloaded",
+                    "unexpected error kind {}",
+                    kind
+                );
+            }
+        }
+    });
+    assert!(total_ok >= 1, "no request was served before shutdown");
+
+    // The port no longer serves: a fresh client gets a typed error.
+    let late = Client::new(
+        addr.to_string(),
+        ClientConfig {
+            name: "late".to_string(),
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_millis(500),
+            ..ClientConfig::default()
+        },
+    );
+    let err = late.ping().expect_err("server is down");
+    assert_eq!(err.kind(), "network");
+}
